@@ -1,0 +1,170 @@
+// Command disha-sim runs a single network simulation and prints a summary
+// report: latency statistics, throughput, deadlock detection and recovery
+// counters, and (optionally) a live wait-for-graph analysis.
+//
+// Example — the paper's configuration at moderate load:
+//
+//	disha-sim -radix 16 -alg disha -misroutes 3 -traffic uniform -load 0.5
+//
+// Example — a baseline without recovery:
+//
+//	disha-sim -alg duato -load 0.5 -cycles 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	disha "repro"
+)
+
+func main() {
+	var (
+		radix     = flag.Int("radix", 16, "nodes per dimension")
+		dims      = flag.Int("dims", 2, "dimensions")
+		mesh      = flag.Bool("mesh", false, "use a mesh instead of a torus")
+		algName   = flag.String("alg", "disha", "routing algorithm: disha, dor, turn, dally, duato, duato-strict")
+		misroutes = flag.Int("misroutes", 0, "Disha misroute bound M")
+		selName   = flag.String("sel", "random", "selection function: random, min-congestion")
+		trafName  = flag.String("traffic", "uniform", "pattern: uniform, bit-reversal, transpose, hotspot, complement, tornado")
+		hotFrac   = flag.Float64("hotspot-fraction", 0.05, "hot-spot traffic fraction")
+		load      = flag.Float64("load", 0.4, "offered load (fraction of capacity)")
+		msgLen    = flag.Int("msglen", 32, "message length in flits")
+		vcs       = flag.Int("vcs", 4, "virtual channels per physical channel")
+		depth     = flag.Int("depth", 2, "per-VC buffer depth in flits")
+		timeout   = flag.Int("timeout", 8, "deadlock time-out T_out (recovery algorithms)")
+		cycles    = flag.Int("cycles", 10000, "cycles to simulate")
+		recovMode = flag.String("recovery", "sequential", "recovery mode for disha: sequential, concurrent, abort-retry")
+		throttle  = flag.Int("throttle", 0, "max outstanding packets per node (0 = unthrottled)")
+		rx        = flag.Int("rx", 1, "reception channels per node")
+		drain     = flag.Int("drain", 0, "extra cycles to drain after stopping injection (0 = no drain)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		wfg       = flag.Bool("wfg", false, "run the wait-for-graph analyzer at the end")
+	)
+	flag.Parse()
+
+	radices := make([]int, *dims)
+	for i := range radices {
+		radices[i] = *radix
+	}
+	var topo disha.Topology
+	var err error
+	if *mesh {
+		topo, err = disha.NewMesh(radices...)
+	} else {
+		topo, err = disha.NewTorus(radices...)
+	}
+	fail(err)
+
+	var alg disha.Algorithm
+	recovery := false
+	switch *algName {
+	case "disha":
+		alg = disha.DishaRouting(*misroutes)
+		recovery = true
+	case "dor":
+		alg = disha.DOR()
+	case "turn":
+		alg = disha.NegativeFirst()
+	case "dally":
+		alg = disha.DallyAoki()
+	case "duato":
+		alg = disha.Duato()
+	case "duato-strict":
+		alg = disha.DuatoStrict()
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algName))
+	}
+
+	var sel disha.Selection
+	switch *selName {
+	case "random":
+		sel = disha.RandomSelection()
+	case "min-congestion":
+		sel = disha.MinCongestionSelection()
+	default:
+		fail(fmt.Errorf("unknown selection %q", *selName))
+	}
+
+	var pattern disha.Pattern
+	switch *trafName {
+	case "uniform":
+		pattern = disha.Uniform(topo)
+	case "bit-reversal":
+		pattern, err = disha.BitReversal(topo)
+	case "transpose":
+		pattern, err = disha.Transpose(topo)
+	case "hotspot":
+		pattern = disha.HotSpot(disha.Uniform(topo), disha.Node(topo.Nodes()/3), *hotFrac)
+	case "complement":
+		pattern = disha.Complement(topo)
+	case "tornado":
+		pattern = disha.Tornado(topo)
+	default:
+		err = fmt.Errorf("unknown traffic %q", *trafName)
+	}
+	fail(err)
+
+	sim, err := disha.NewSimulator(disha.SimConfig{
+		Topo:              topo,
+		Algorithm:         alg,
+		Selection:         sel,
+		Pattern:           pattern,
+		LoadRate:          *load,
+		MsgLen:            *msgLen,
+		VCs:               *vcs,
+		BufferDepth:       *depth,
+		Timeout:           disha.Cycle(*timeout),
+		DisableRecovery:   !recovery,
+		Recovery:          parseRecovery(*recovMode),
+		ReceptionChannels: *rx,
+		InjectionThrottle: *throttle,
+		Seed:              *seed,
+	})
+	fail(err)
+
+	var lat disha.LatencyCollector
+	sim.OnDeliver(func(p *disha.Packet) { lat.Add(float64(p.Age())) })
+	sim.Run(*cycles)
+	drained := false
+	if *drain > 0 {
+		drained = sim.Drain(*drain)
+	}
+
+	fmt.Printf("%s | %s | %s | load %.2f | %d-flit messages | %d VCs x depth %d\n",
+		topo.Name(), alg.Name(), pattern.Name(), *load, *msgLen, *vcs, *depth)
+	fmt.Println(strings.Repeat("-", 72))
+	fmt.Print(sim.Report())
+	fmt.Printf("latency:           %v\n", lat.Summarize())
+	if *drain > 0 {
+		fmt.Printf("drained:           %v\n", drained)
+	}
+	if *wfg {
+		res := sim.AnalyzeDeadlock()
+		fmt.Printf("wfg blocked:       %d headers\n", len(res.Blocked))
+		fmt.Printf("wfg true deadlock: %v (%d members)\n", res.TrueDeadlock(), len(res.Deadlocked))
+	}
+}
+
+func parseRecovery(s string) disha.RecoveryMode {
+	switch s {
+	case "sequential":
+		return disha.RecoverySequential
+	case "concurrent":
+		return disha.RecoveryConcurrent
+	case "abort-retry":
+		return disha.RecoveryAbortRetry
+	default:
+		fail(fmt.Errorf("unknown recovery mode %q", s))
+		return disha.RecoverySequential
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disha-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Command disha-sweep regenerates the paper's figures: it runs the canned
+// load sweeps (Figures 3a, 3b, 4, 5, 6, 7) and prints latency, throughput
+// and token-seizure tables plus a saturation summary, optionally writing
+// CSV files for plotting.
+//
+// Examples:
+//
+//	disha-sweep -fig 4                    # Figure 4 at paper scale (16x16)
+//	disha-sweep -fig all -scale small     # everything, fast 8x8 runs
+//	disha-sweep -fig 3a -csv out/         # write out/fig3a-....csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	disha "repro"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "4", "figure to reproduce: 3a, 3b, 4, 5, 6, 7, or all")
+		scale   = flag.String("scale", "paper", "scale: paper (16x16, 32 flits) or small (8x8, 16 flits)")
+		csvDir  = flag.String("csv", "", "directory to write CSV results into (optional)")
+		warmup  = flag.Int("warmup", 0, "override warm-up cycles")
+		measure = flag.Int("measure", 0, "override measurement cycles")
+		seed    = flag.Uint64("seed", 0, "override seed")
+		quiet   = flag.Bool("quiet", false, "suppress per-point progress")
+		charts  = flag.Bool("plot", true, "render ASCII charts of each figure")
+	)
+	flag.Parse()
+
+	var sc disha.ExperimentScale
+	switch *scale {
+	case "paper":
+		sc = disha.PaperScale()
+	case "small":
+		sc = disha.SmallScale()
+	default:
+		fail(fmt.Errorf("unknown scale %q", *scale))
+	}
+	if *warmup > 0 {
+		sc.Warmup = *warmup
+	}
+	if *measure > 0 {
+		sc.Measure = *measure
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	names := []string{*fig}
+	if *fig == "all" {
+		names = []string{"3a", "3b", "4", "5", "6", "7"}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		spec := disha.Figure(name, sc)
+		if spec == nil {
+			fail(fmt.Errorf("unknown figure %q", name))
+		}
+		if *warmup > 0 {
+			spec.Warmup = *warmup
+		}
+		if *measure > 0 {
+			spec.Measure = *measure
+		}
+		start := time.Now()
+		fmt.Printf("== figure %s: %s ==\n", name, spec.Name)
+		progress := func(s string) { fmt.Println("  " + s) }
+		if *quiet {
+			progress = nil
+		}
+		res, err := spec.Run(progress)
+		fail(err)
+		fmt.Println()
+		fmt.Println(res.LatencyTable())
+		fmt.Println(res.ThroughputTable())
+		if *charts {
+			fmt.Println(disha.PlotLatency(spec.Name+" — latency vs load", res))
+			fmt.Println(disha.PlotThroughput(spec.Name+" — throughput vs load", res))
+		}
+		if name == "3a" {
+			fmt.Println(res.SeizureTable())
+		}
+		fmt.Println(res.SaturationSummary())
+		fmt.Printf("(%s in %v)\n\n", spec.Name, time.Since(start).Round(time.Millisecond))
+
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fail(err)
+			}
+			path := filepath.Join(*csvDir, strings.ReplaceAll(spec.Name, "/", "-")+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disha-sweep:", err)
+		os.Exit(1)
+	}
+}

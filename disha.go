@@ -1,0 +1,409 @@
+// Package disha is a Go reproduction of "An Efficient, Fully Adaptive
+// Deadlock Recovery Scheme: DISHA" (Anjan K.V. and Timothy Mark Pinkston,
+// ISCA 1995): a flit-level wormhole network simulator in which routing is
+// true fully adaptive — every virtual channel usable by every packet — and
+// deadlock is handled by recovery through a central per-router Deadlock
+// Buffer serialized by a circulating Token, rather than by avoidance.
+//
+// The package is a facade over the internal packages:
+//
+//   - topologies (k-ary n-cube torus and mesh) and traffic patterns;
+//   - the routing algorithms compared in the paper (DOR, Turn model
+//     negative-first, Dally & Aoki, Duato, and Disha itself);
+//   - the router microarchitecture with time-out deadlock detection and the
+//     Deadlock Buffer recovery lane;
+//   - the experiment harness that regenerates the paper's figures;
+//   - Chien's router cost model (the paper's Section 3.4);
+//   - the executable deadlock theory (channel dependency graphs and a
+//     runtime wait-for-graph analyzer).
+//
+// Quick start:
+//
+//	topo := disha.Torus(8, 8)
+//	sim, err := disha.NewSimulator(disha.SimConfig{
+//		Topo:      topo,
+//		Algorithm: disha.DishaRouting(0),
+//		Pattern:   disha.Uniform(topo),
+//		LoadRate:  0.4,
+//	})
+//	if err != nil { ... }
+//	sim.Run(10000)
+//	fmt.Println(sim.Report())
+package disha
+
+import (
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/packet"
+	"repro/internal/plot"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/traffic"
+)
+
+// --- Topologies -----------------------------------------------------------------
+
+// Topology is a direct interconnection network graph.
+type Topology = topology.Topology
+
+// Node identifies a network node.
+type Node = topology.Node
+
+// Coord is a per-dimension coordinate vector.
+type Coord = topology.Coord
+
+// Torus builds a k-ary n-cube with wraparound links (the paper evaluates a
+// 16x16 torus); it panics on invalid radices.
+func Torus(radix ...int) Topology { return topology.MustTorus(radix...) }
+
+// Mesh builds a k-ary n-cube without wraparound links.
+func Mesh(radix ...int) Topology { return topology.MustMesh(radix...) }
+
+// NewTorus is the error-returning variant of Torus.
+func NewTorus(radix ...int) (Topology, error) { return topology.NewTorus(radix...) }
+
+// NewMesh is the error-returning variant of Mesh.
+func NewMesh(radix ...int) (Topology, error) { return topology.NewMesh(radix...) }
+
+// Hypercube builds the n-dimensional binary hypercube; it panics for n < 1.
+func Hypercube(dims int) Topology { return topology.MustHypercube(dims) }
+
+// NewHypercube is the error-returning variant of Hypercube.
+func NewHypercube(dims int) (Topology, error) { return topology.NewHypercube(dims) }
+
+// --- Routing algorithms -----------------------------------------------------------
+
+// Algorithm is a routing function mapping router state and a packet to
+// candidate output virtual channels.
+type Algorithm = routing.Algorithm
+
+// Selection picks among a routing function's usable candidates.
+type Selection = routing.Selection
+
+// DishaRouting returns the paper's true fully adaptive routing with
+// misroute bound m (0 = minimal, 3 = the paper's misrouting configuration).
+// Run it with recovery enabled (SimConfig.Timeout > 0).
+func DishaRouting(m int) Algorithm { return routing.Disha(m) }
+
+// DOR returns deterministic dimension-order routing.
+func DOR() Algorithm { return routing.DOR() }
+
+// NegativeFirst returns the Turn model's negative-first algorithm.
+func NegativeFirst() Algorithm { return routing.NegativeFirst() }
+
+// DallyAoki returns Dally & Aoki's dynamic algorithm (dimension reversals).
+func DallyAoki() Algorithm { return routing.DallyAoki() }
+
+// Duato returns Duato's adaptive algorithm with escape channels.
+func Duato() Algorithm { return routing.Duato() }
+
+// DuatoStrict returns the conservative Duato variant whose escape use is
+// permanent (an ablation baseline; see DESIGN.md).
+func DuatoStrict() Algorithm { return routing.DuatoStrict() }
+
+// RandomSelection picks a free candidate uniformly at random.
+func RandomSelection() Selection { return routing.Random() }
+
+// MinCongestionSelection prefers the direction with the most free VCs.
+func MinCongestionSelection() Selection { return routing.MinCongestion() }
+
+// --- Traffic ------------------------------------------------------------------------
+
+// Pattern maps a source node to a destination node.
+type Pattern = traffic.Pattern
+
+// Uniform sends each packet to a uniformly random other node.
+func Uniform(topo Topology) Pattern { return traffic.Uniform(topo) }
+
+// BitReversal sends node a_{b-1}..a_0 to node a_0..a_{b-1}; the node count
+// must be a power of two.
+func BitReversal(topo Topology) (Pattern, error) { return traffic.BitReversal(topo) }
+
+// Transpose sends (x, y) to (y, x) on a square 2D network.
+func Transpose(topo Topology) (Pattern, error) { return traffic.Transpose(topo) }
+
+// HotSpot directs fraction of all traffic at the spot node on top of base.
+func HotSpot(base Pattern, spot Node, fraction float64) Pattern {
+	return traffic.HotSpot(base, spot, fraction)
+}
+
+// Complement sends every node to its coordinate-wise complement.
+func Complement(topo Topology) Pattern { return traffic.Complement(topo) }
+
+// Tornado sends (x, ...) to ((x + ceil(k/2) - 1) mod k, ...).
+func Tornado(topo Topology) Pattern { return traffic.Tornado(topo) }
+
+// --- Simulation ----------------------------------------------------------------------
+
+// Cycle is a simulation timestamp in router clock cycles.
+type Cycle = sim.Cycle
+
+// Packet is a wormhole message with its routing and recovery state.
+type Packet = packet.Packet
+
+// Counters are network-wide event totals.
+type Counters = network.Counters
+
+// AllocPolicy selects flit-by-flit or packet-by-packet crossbar allocation.
+type AllocPolicy = router.AllocPolicy
+
+// Crossbar allocation policies (paper Section 3.3).
+const (
+	FlitByFlit     = router.FlitByFlit
+	PacketByPacket = router.PacketByPacket
+)
+
+// RecoveryMode selects the deadlock recovery scheme.
+type RecoveryMode = router.RecoveryMode
+
+// Recovery modes.
+const (
+	RecoverySequential = router.RecoverySequential
+	RecoveryConcurrent = router.RecoveryConcurrent
+	RecoveryAbortRetry = router.RecoveryAbortRetry
+)
+
+// SimConfig configures one simulation. Zero fields take the paper's
+// defaults (4 VCs of depth 2, 32-flit messages, a single-flit Deadlock
+// Buffer, one injection and one reception channel, T_out = 8).
+type SimConfig struct {
+	Topo      Topology
+	Algorithm Algorithm
+	Selection Selection // default: random
+	Pattern   Pattern
+	// LoadRate is offered load as a fraction of capacity (Section 4.1).
+	LoadRate float64
+	// MsgLen is packet length in flits.
+	MsgLen int
+	// VCs is virtual channels per physical channel; BufferDepth their
+	// per-VC depth in flits.
+	VCs, BufferDepth int
+	// Timeout is T_out; 0 disables detection (set 0 for avoidance
+	// algorithms, which need no recovery). Set DisableRecovery to force
+	// detection off even with a nonzero Timeout default.
+	Timeout         Cycle
+	DisableRecovery bool
+	// Alloc is the crossbar allocation policy (default flit-by-flit).
+	Alloc AllocPolicy
+	// AdaptiveTimeout makes T_out self-tuning (the paper's "programmable
+	// T_out" future work): routers back off after false detections and
+	// decay back toward the configured Timeout.
+	AdaptiveTimeout bool
+	// Recovery selects the recovery scheme once Timeout presumes deadlock:
+	// Sequential (the paper's Token + Deadlock Buffer lane, the default),
+	// Concurrent (token-free two-lane recovery, the paper's future-work
+	// direction — see DESIGN.md) or AbortRetry (Compressionless-style kill
+	// and retransmit, the alternative the paper argues against).
+	Recovery RecoveryMode
+	// ReceptionChannels is how many flits per cycle a node consumes
+	// (default 1; the paper names raising it as a deadlock-reduction lever).
+	ReceptionChannels int
+	// InjectionThrottle, when positive, stops a node injecting while it has
+	// this many packets outstanding (the paper's injection-limitation
+	// citation, §4.3.3).
+	InjectionThrottle int
+	// Burst, when both fields are set, replaces Bernoulli injection with an
+	// on/off bursty process of the same long-run load.
+	Burst BurstConfig
+	// Seed makes runs reproducible.
+	Seed uint64
+	// TokenHopsPerCycle is the recovery Token's speed (default 4).
+	TokenHopsPerCycle int
+}
+
+// BurstConfig shapes bursty injection (mean burst and idle lengths, cycles).
+type BurstConfig = traffic.BurstConfig
+
+// Simulator is one live network simulation.
+type Simulator struct {
+	net *network.Network
+}
+
+// NewSimulator builds a simulator. Recovery (detection, Token, Deadlock
+// Buffer) is enabled whenever Timeout > 0 and DisableRecovery is false.
+func NewSimulator(cfg SimConfig) (*Simulator, error) {
+	rc := router.Default()
+	if cfg.VCs != 0 {
+		rc.VCs = cfg.VCs
+	}
+	if cfg.BufferDepth != 0 {
+		rc.BufferDepth = cfg.BufferDepth
+	}
+	rc.Alloc = cfg.Alloc
+	rc.Recovery = cfg.Recovery
+	rc.AdaptiveTimeout = cfg.AdaptiveTimeout
+	if cfg.ReceptionChannels != 0 {
+		rc.ReceptionChannels = cfg.ReceptionChannels
+	}
+	if cfg.Timeout != 0 {
+		rc.Timeout = cfg.Timeout
+	}
+	if cfg.DisableRecovery {
+		rc.Timeout = 0
+		rc.DeadlockBufferDepth = 0
+		rc.Recovery = RecoverySequential
+	}
+	n, err := network.New(network.Config{
+		Topo:              cfg.Topo,
+		Router:            rc,
+		Algorithm:         cfg.Algorithm,
+		Selection:         cfg.Selection,
+		Pattern:           cfg.Pattern,
+		LoadRate:          cfg.LoadRate,
+		MsgLen:            cfg.MsgLen,
+		Seed:              cfg.Seed,
+		TokenHopsPerCycle: cfg.TokenHopsPerCycle,
+		InjectionThrottle: cfg.InjectionThrottle,
+		Burst:             cfg.Burst,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{net: n}, nil
+}
+
+// Run advances the simulation the given number of cycles.
+func (s *Simulator) Run(cycles int) { s.net.Run(cycles) }
+
+// Step advances one cycle.
+func (s *Simulator) Step() { s.net.Step() }
+
+// Drain stops injection and runs until the network empties or limit cycles
+// pass; it reports whether the network fully drained.
+func (s *Simulator) Drain(limit int) bool { return s.net.RunUntilDrained(limit) }
+
+// Now returns the current cycle.
+func (s *Simulator) Now() Cycle { return s.net.Now() }
+
+// Counters returns network-wide totals.
+func (s *Simulator) Counters() Counters { return s.net.Counters() }
+
+// OnDeliver registers a callback invoked for every delivered packet.
+func (s *Simulator) OnDeliver(f func(*Packet)) { s.net.OnDeliver = f }
+
+// Network exposes the underlying network for analysis (wait-for-graph
+// inspection); treat it as read-only.
+func (s *Simulator) Network() *network.Network { return s.net }
+
+// AnalyzeDeadlock runs the wait-for-graph analyzer on the live state.
+func (s *Simulator) AnalyzeDeadlock() core.WFGResult {
+	return core.AnalyzeWFG(s.net.Routers())
+}
+
+// FailLink severs the bidirectional link at node/port (fault injection).
+// Disha routes around faults adaptively, and the Deadlock Buffer lane is
+// re-routed over live links so recovery still reaches every destination.
+// See network.FailLink for the restrictions.
+func (s *Simulator) FailLink(node Node, port int) error {
+	return s.net.FailLink(node, port)
+}
+
+// TraceEvent is one recorded simulation event.
+type TraceEvent = trace.Event
+
+// Trace event kinds.
+const (
+	TraceInject       = trace.Inject
+	TraceDeliver      = trace.Deliver
+	TraceTimeout      = trace.Timeout
+	TraceRecover      = trace.Recover
+	TraceTokenCapture = trace.TokenCapture
+	TraceTokenRelease = trace.TokenRelease
+)
+
+// EnableTrace attaches a ring buffer recording the most recent capacity
+// packet-level events (injections, deliveries, timeouts, recoveries, Token
+// movements) and returns it.
+func (s *Simulator) EnableTrace(capacity int) *trace.Buffer {
+	b := trace.New(capacity)
+	s.net.SetTrace(b)
+	return b
+}
+
+// Report summarizes the run as a human-readable string.
+func (s *Simulator) Report() string {
+	c := s.Counters()
+	return formatReport(c)
+}
+
+// --- Experiments -----------------------------------------------------------------------
+
+// Experiment aliases the harness spec type for custom experiments.
+type Experiment = harness.Spec
+
+// ExperimentResult aliases the harness result type.
+type ExperimentResult = harness.Result
+
+// AlgCurve aliases one experiment curve definition.
+type AlgCurve = harness.AlgSpec
+
+// ExperimentScale sets figure reproduction sizes.
+type ExperimentScale = harness.Scale
+
+// PaperScale is the paper's simulation model (16x16 torus, 32-flit
+// messages); SmallScale is a fast 8x8 configuration.
+func PaperScale() ExperimentScale { return harness.PaperScale() }
+
+// SmallScale is a fast 8x8 experiment configuration.
+func SmallScale() ExperimentScale { return harness.SmallScale() }
+
+// Figure returns the canned reproduction spec for a paper figure:
+// "3a", "3b", "4", "5", "6" or "7". It returns nil for unknown names.
+func Figure(name string, sc ExperimentScale) *Experiment {
+	return harness.Figures(sc)[name]
+}
+
+// Figures returns all canned figure specs keyed by short name.
+func Figures(sc ExperimentScale) map[string]*Experiment { return harness.Figures(sc) }
+
+// PlotLatency renders an experiment's latency-vs-load curves as an ASCII
+// chart (log y axis).
+func PlotLatency(title string, res *ExperimentResult) string {
+	return plot.Latency(title, res.Series)
+}
+
+// PlotThroughput renders an experiment's throughput-vs-load curves as an
+// ASCII chart.
+func PlotThroughput(title string, res *ExperimentResult) string {
+	return plot.Throughput(title, res.Series)
+}
+
+// --- Cost model --------------------------------------------------------------------------
+
+// CostComparison is one row of the Section 3.4 cost table.
+type CostComparison = costmodel.Comparison
+
+// PaperCostTable reproduces Section 3.4: *-Channels (7.0 ns) vs Disha
+// (7.1 ns) on a 2D mesh with three VCs.
+func PaperCostTable() []CostComparison { return costmodel.PaperTable() }
+
+// FormatCostTable renders cost comparisons as text.
+func FormatCostTable(rows []CostComparison) string { return costmodel.FormatTable(rows) }
+
+// DishaRouterCost returns the modeled Disha router for a custom
+// configuration (degree network ports, vcs virtual channels).
+func DishaRouterCost(degree, vcs int) costmodel.Router { return costmodel.Disha(degree, vcs) }
+
+// StarChannelsRouterCost returns the modeled *-Channels reference router.
+func StarChannelsRouterCost(degree, vcs int) costmodel.Router {
+	return costmodel.StarChannels(degree, vcs)
+}
+
+// CompareRouterCost evaluates routers under Chien's model.
+func CompareRouterCost(routers ...costmodel.Router) []CostComparison {
+	return costmodel.Compare(routers...)
+}
+
+// --- Metrics helpers -----------------------------------------------------------------------
+
+// LatencyCollector accumulates latency samples with summary statistics.
+type LatencyCollector = metrics.Collector
+
+// Summary is a statistics snapshot.
+type Summary = metrics.Summary

@@ -1,0 +1,98 @@
+// Deadlock recovery, demonstrated end to end.
+//
+// This example makes the paper's core claim concrete. It builds a small
+// torus with a single virtual channel and single-flit-deep buffers — the
+// most deadlock-prone configuration possible — and drives unrestricted
+// fully adaptive routing hard:
+//
+//  1. with recovery DISABLED, true deadlock cycles form (verified with the
+//     wait-for-graph analyzer) and the network wedges permanently;
+//  2. with DISHA recovery ENABLED (time-out detection + Token + Deadlock
+//     Buffers), the same routing under the same workload always drains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disha "repro"
+)
+
+const (
+	radix  = 4
+	load   = 0.9
+	msgLen = 8
+	seed   = 12
+)
+
+func build(recovery bool, mode disha.RecoveryMode) *disha.Simulator {
+	topo := disha.Torus(radix, radix)
+	sim, err := disha.NewSimulator(disha.SimConfig{
+		Topo:            topo,
+		Algorithm:       disha.DishaRouting(0),
+		Pattern:         disha.Uniform(topo),
+		LoadRate:        load,
+		MsgLen:          msgLen,
+		VCs:             1, // no virtual channels at all:
+		BufferDepth:     1, // Disha needs none for deadlock freedom
+		Timeout:         8,
+		DisableRecovery: !recovery,
+		Recovery:        mode,
+		Seed:            seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sim
+}
+
+func main() {
+	fmt.Println("--- phase 1: unrestricted adaptive routing WITHOUT recovery ---")
+	wedged := build(false, disha.RecoverySequential)
+	wedged.Run(4000)
+	res := wedged.AnalyzeDeadlock()
+	fmt.Printf("wait-for-graph: %d blocked headers, true deadlock = %v (%d members)\n",
+		len(res.Blocked), res.TrueDeadlock(), len(res.Deadlocked))
+	for i, bh := range res.Deadlocked {
+		if i == 4 {
+			fmt.Println("   ...")
+			break
+		}
+		fmt.Printf("   member: %v waits on %d packet(s)\n", bh.Pkt, len(bh.WaitsOn))
+	}
+	drained := wedged.Drain(30000)
+	fmt.Printf("drained after stopping injection: %v (in flight: %d)\n\n",
+		drained, wedged.Counters().PacketsInjected-wedged.Counters().PacketsDelivered)
+
+	fmt.Println("--- phase 2: the same routing WITH Disha recovery ---")
+	recovered := build(true, disha.RecoverySequential)
+	buf := recovered.EnableTrace(64) // keep the last few protocol events
+	recovered.Run(4000)
+	if !recovered.Drain(100000) {
+		log.Fatal("recovery-enabled network failed to drain — bug!")
+	}
+	c := recovered.Counters()
+	fmt.Print(recovered.Report())
+	fmt.Printf("\nevery one of the %d injected packets was delivered;\n", c.PacketsInjected)
+	fmt.Printf("%d deadlocked packets escaped through the Deadlock Buffer lane\n", c.TokenSeizures)
+	fmt.Println("(each seized the Token, crawled the DB lane minimally, and sank at its destination)")
+	fmt.Println("\nlast protocol events from the trace:")
+	events := buf.Events()
+	for i := len(events) - 6; i < len(events); i++ {
+		if i >= 0 {
+			fmt.Println("  ", events[i])
+		}
+	}
+
+	fmt.Println("\n--- phase 3: token-free CONCURRENT recovery (future work in the paper) ---")
+	cr := build(true, disha.RecoveryConcurrent)
+	cr.Run(4000)
+	if !cr.Drain(100000) {
+		log.Fatal("concurrent-recovery network failed to drain — bug!")
+	}
+	cc := cr.Counters()
+	fmt.Printf("delivered %d/%d packets; %d recoveries with no token at all\n",
+		cc.PacketsDelivered, cc.PacketsInjected, cc.Recoveries)
+	fmt.Println("(deadlocked packets recover immediately over two direction-partitioned")
+	fmt.Println(" Hamiltonian Deadlock Buffer lanes — see DESIGN.md for the construction)")
+}

@@ -1,0 +1,78 @@
+// Fault tolerance: the paper's claim that Disha "provides good
+// fault-tolerance capability" while restricted schemes cannot.
+//
+// Three links of a 4x4 torus are failed. Dimension-order routing has exactly
+// one path per packet, so traffic needing a dead link wedges forever. Disha
+// routes around the faults adaptively (misrouting where no minimal live port
+// remains), and any packet stranded behind a fault times out and escapes
+// through the Deadlock Buffer lane — which is itself re-routed over live
+// links when a fault is injected.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disha "repro"
+)
+
+func build(alg disha.Algorithm, recovery bool) *disha.Simulator {
+	topo := disha.Torus(4, 4)
+	sim, err := disha.NewSimulator(disha.SimConfig{
+		Topo:            topo,
+		Algorithm:       alg,
+		Pattern:         disha.Uniform(topo),
+		LoadRate:        0.4,
+		MsgLen:          8,
+		Timeout:         8,
+		DisableRecovery: !recovery,
+		Seed:            7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sim
+}
+
+func failLinks(sim *disha.Simulator) {
+	topo := disha.Torus(4, 4)
+	faults := []struct {
+		at   disha.Coord
+		port int
+	}{
+		{disha.Coord{0, 0}, 0}, // +X from (0,0)
+		{disha.Coord{2, 1}, 2}, // +Y from (2,1)
+		{disha.Coord{3, 3}, 1}, // -X from (3,3)
+	}
+	for _, f := range faults {
+		if err := sim.FailLink(topo.NodeAt(f.at), f.port); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  failed link at %v port %d\n", f.at, f.port)
+	}
+}
+
+func main() {
+	fmt.Println("--- dimension-order routing across 3 failed links ---")
+	dor := build(disha.DOR(), false)
+	failLinks(dor)
+	dor.Run(4000)
+	if dor.Drain(20000) {
+		fmt.Println("(no packet happened to need a dead link)")
+	} else {
+		fmt.Printf("WEDGED: %d packets can never be delivered (their only path is dead)\n\n",
+			dor.Counters().PacketsInjected-dor.Counters().PacketsDelivered)
+	}
+
+	fmt.Println("--- Disha (M=3) across the same 3 failed links ---")
+	d := build(disha.DishaRouting(3), true)
+	failLinks(d)
+	d.Run(4000)
+	if !d.Drain(60000) {
+		log.Fatal("Disha failed to drain on the faulty network — bug!")
+	}
+	c := d.Counters()
+	fmt.Printf("delivered %d/%d packets (%d misroute hops around faults, %d recoveries)\n",
+		c.PacketsDelivered, c.PacketsInjected, c.MisrouteHops, c.Recoveries)
+	fmt.Println("fully adaptive routing + a fault-aware recovery lane = every packet arrives")
+}

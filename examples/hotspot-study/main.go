@@ -1,0 +1,63 @@
+// Hot-spot study: the paper's Figure 7 finding that misrouting — harmful
+// under every other workload — helps when traffic concentrates on one node.
+//
+// 5% of all traffic targets a single hot node. The example compares Disha
+// with misroute bounds M = 0, 1, 3 and 5 plus Duato, printing throughput at
+// a fixed load and the misroute-hop counts, to show non-minimal routing
+// steering packets around the congested region.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disha "repro"
+)
+
+func main() {
+	topo := disha.Torus(8, 8)
+	spot := topo.NodeAt(disha.Coord{3, 5})
+	fmt.Printf("hot spot: 5%% of traffic -> node %v on %s\n\n", topo.Coord(spot), topo.Name())
+	fmt.Printf("%-12s %10s %12s %14s %12s\n", "scheme", "delivered", "mean-latency", "misroute-hops", "seizures")
+
+	type cfg struct {
+		label    string
+		alg      disha.Algorithm
+		recovery bool
+	}
+	cfgs := []cfg{
+		{"disha-m0", disha.DishaRouting(0), true},
+		{"disha-m1", disha.DishaRouting(1), true},
+		{"disha-m3", disha.DishaRouting(3), true},
+		{"disha-m5", disha.DishaRouting(5), true},
+		{"duato", disha.Duato(), false},
+	}
+	for _, c := range cfgs {
+		pattern := disha.HotSpot(disha.Uniform(topo), spot, 0.05)
+		sim, err := disha.NewSimulator(disha.SimConfig{
+			Topo:            topo,
+			Algorithm:       c.alg,
+			Pattern:         pattern,
+			LoadRate:        0.25, // hot spots saturate early (paper Fig. 7)
+			MsgLen:          16,
+			Timeout:         8,
+			DisableRecovery: !c.recovery,
+			Seed:            7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var lat disha.LatencyCollector
+		sim.OnDeliver(func(p *disha.Packet) { lat.Add(float64(p.Age())) })
+		sim.Run(8000)
+		st := sim.Counters()
+		fmt.Printf("%-12s %10d %12.1f %14d %12d\n",
+			c.label, st.PacketsDelivered, lat.Mean(), st.MisrouteHops, st.TokenSeizures)
+	}
+
+	fmt.Println()
+	fmt.Println("paper's observation: with hot spots and no misrouting the deadlock")
+	fmt.Println("count grows sharply; allowing a few misroutes routes packets around")
+	fmt.Println("the congested region, so M>0 beats M=0 here — the reverse of the")
+	fmt.Println("uniform/bit-reversal/transpose results.")
+}

@@ -1,0 +1,48 @@
+// Hypercube: Disha on an arbitrary topology.
+//
+// The paper's claim 2) is that the scheme "is applicable to any
+// interconnection network topology": the Deadlock Buffer lane only needs a
+// connected minimal routing subfunction, which dimension-order provides on
+// any k-ary n-cube. This example runs true fully adaptive routing with
+// recovery on a 6-dimensional binary hypercube (64 nodes) and on a 3D torus
+// side by side, using identical code paths.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	disha "repro"
+)
+
+func run(topo disha.Topology, load float64) {
+	sim, err := disha.NewSimulator(disha.SimConfig{
+		Topo:      topo,
+		Algorithm: disha.DishaRouting(0),
+		Pattern:   disha.Uniform(topo),
+		LoadRate:  load, // modest: high-degree networks are injection-channel-limited
+		MsgLen:    16,
+		Timeout:   8,
+		Seed:      21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var lat disha.LatencyCollector
+	sim.OnDeliver(func(p *disha.Packet) { lat.Add(float64(p.Age())) })
+	sim.Run(6000)
+	if !sim.Drain(60000) {
+		log.Fatalf("%s failed to drain", topo.Name())
+	}
+	c := sim.Counters()
+	fmt.Printf("%-14s delivered=%6d latency=%7.1f timeouts=%4d recoveries=%3d\n",
+		topo.Name(), c.PacketsDelivered, lat.Mean(), c.TimeoutEvents, c.Recoveries)
+}
+
+func main() {
+	fmt.Println("Disha is topology agnostic — same routing, same recovery machinery:")
+	run(disha.Hypercube(6), 0.2)
+	run(disha.Torus(4, 4, 4), 0.2)
+	run(disha.Mesh(8, 8), 0.2)
+	run(disha.Torus(16, 16), 0.2)
+}

@@ -1,0 +1,40 @@
+// Uniform-traffic comparison: a miniature of the paper's Figure 4.
+//
+// It sweeps offered load on an 8x8 torus and compares Disha (M=0 and M=3)
+// against the four deadlock-avoidance baselines the paper simulates: Duato,
+// Dally & Aoki (with minimum-congestion selection, as in the paper), the
+// Turn model's negative-first, and dimension-order routing. Run with
+// cmd/disha-sweep -fig 4 for the full 16x16 version.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	disha "repro"
+)
+
+func main() {
+	sc := disha.SmallScale()
+	sc.Loads = []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7}
+
+	spec := disha.Figure("4", sc)
+	start := time.Now()
+	fmt.Println("running mini Figure 4 (uniform traffic, 8x8 torus) — ~1 minute")
+	res, err := spec.Run(func(line string) { fmt.Println("  " + line) })
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Println(res.LatencyTable())
+	fmt.Println(res.ThroughputTable())
+	fmt.Println(disha.PlotThroughput("mini Figure 4 — accepted throughput vs offered load", res))
+	fmt.Println(res.SaturationSummary())
+	fmt.Println("elapsed:", time.Since(start).Round(time.Second))
+	fmt.Println()
+	fmt.Println("expected shape (paper Fig. 4): Disha saturates last and sustains the")
+	fmt.Println("highest throughput; Duato and Dally & Aoki follow; DOR and the Turn")
+	fmt.Println("model saturate first. See EXPERIMENTS.md for the measured numbers.")
+}

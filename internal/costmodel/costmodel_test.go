@@ -1,0 +1,104 @@
+package costmodel
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestModuleDelays(t *testing.T) {
+	if CrossbarDelayNS(1) != 0.4 {
+		t.Fatalf("T_cb(1) = %v", CrossbarDelayNS(1))
+	}
+	if math.Abs(CrossbarDelayNS(8)-(0.4+0.6*3)) > 1e-12 {
+		t.Fatalf("T_cb(8) = %v", CrossbarDelayNS(8))
+	}
+	if VCCDelayNS(1) != 1.24 {
+		t.Fatalf("T_vcc(1) = %v", VCCDelayNS(1))
+	}
+	if math.Abs(VCCDelayNS(4)-(1.24+1.2)) > 1e-12 {
+		t.Fatalf("T_vcc(4) = %v", VCCDelayNS(4))
+	}
+}
+
+func TestDelayPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { CrossbarDelayNS(0) },
+		func() { VCCDelayNS(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid input did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestPaperNumbers verifies the Section 3.4 headline: the *-Channels router
+// comes to 7.0 ns data-through and Disha to 7.1 ns on a 2D mesh with three
+// VCs per physical channel.
+func TestPaperNumbers(t *testing.T) {
+	rows := PaperTable()
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	star, disha := rows[0], rows[1]
+	if star.CrossbarIn != 13 { // 4 ports x 3 VCs + injection
+		t.Fatalf("*-Channels crossbar inputs = %d, want 13", star.CrossbarIn)
+	}
+	if disha.CrossbarIn != 14 { // + central Deadlock Buffer
+		t.Fatalf("Disha crossbar inputs = %d, want 14", disha.CrossbarIn)
+	}
+	if math.Abs(star.Total-7.0) > 0.05 {
+		t.Fatalf("T_*-channels = %.3f ns, paper says 7.0", star.Total)
+	}
+	if math.Abs(disha.Total-7.1) > 0.05 {
+		t.Fatalf("T_disha = %.3f ns, paper says 7.1", disha.Total)
+	}
+	// The VCC is untouched by the Deadlock Buffer.
+	if star.Tvcc != disha.Tvcc {
+		t.Fatal("Disha must not change VCC delay")
+	}
+	if disha.Total <= star.Total {
+		t.Fatal("Disha adds exactly one crossbar input; delay must grow slightly")
+	}
+	penalty := (disha.Total - star.Total) / star.Total
+	if penalty > 0.02 {
+		t.Fatalf("penalty %.4f should be under 2%%", penalty)
+	}
+}
+
+func TestDataThroughMonotoneInVCs(t *testing.T) {
+	prev := 0.0
+	for v := 1; v <= 8; v++ {
+		d := StarChannels(4, v).DataThroughNS()
+		if d <= prev {
+			t.Fatalf("data-through not monotone at %d VCs", v)
+		}
+		prev = d
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	s := FormatTable(PaperTable())
+	for _, want := range []string{"*-channels", "disha", "T_through", "ns"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCompareCustom(t *testing.T) {
+	// 3D torus Disha router with 2 VCs: 6*2+1+1 = 14 inputs.
+	r := Disha(6, 2)
+	if r.CrossbarInputs() != 14 {
+		t.Fatalf("inputs = %d", r.CrossbarInputs())
+	}
+	rows := Compare(r)
+	if len(rows) != 1 || rows[0].Total != r.DataThroughNS() {
+		t.Fatal("Compare mismatch")
+	}
+}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Scale sets the simulation size of a figure reproduction. PaperScale
+// matches Section 4.1 (16x16 torus, 4 VCs, 32-flit messages); SmallScale is
+// an 8x8 configuration for fast regression runs and benchmarks with the
+// same qualitative behaviour.
+type Scale struct {
+	Radix   int
+	MsgLen  int
+	Warmup  int
+	Measure int
+	Loads   []float64
+	Seed    uint64
+}
+
+// PaperScale reproduces the paper's simulation model.
+func PaperScale() Scale {
+	return Scale{
+		Radix:   16,
+		MsgLen:  32,
+		Warmup:  3000,
+		Measure: 10000,
+		Loads:   []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+		Seed:    0xd15ab1e,
+	}
+}
+
+// SmallScale is a fast configuration for tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		Radix:   8,
+		MsgLen:  16,
+		Warmup:  1000,
+		Measure: 3000,
+		Loads:   []float64{0.2, 0.4, 0.6, 0.8},
+		Seed:    0xd15ab1e,
+	}
+}
+
+func (sc Scale) torus() func() topology.Topology {
+	return func() topology.Topology { return topology.MustTorus(sc.Radix, sc.Radix) }
+}
+
+func uniformPattern(topo topology.Topology) (traffic.Pattern, error) {
+	return traffic.Uniform(topo), nil
+}
+
+// dishaCurves returns the paper's two Disha configurations: minimal (M=0)
+// and misrouting up to three (M=3), both with sequential Token recovery.
+func dishaCurves(timeout sim.Cycle) []AlgSpec {
+	return []AlgSpec{
+		{Algorithm: routing.Disha(0), Recovery: true, Timeout: timeout},
+		{Algorithm: routing.Disha(3), Recovery: true, Timeout: timeout},
+	}
+}
+
+// avoidanceCurves returns the four deadlock-avoidance baselines of Section
+// 4.3. Dally & Aoki is "the only one simulated with a minimum congestion
+// selection function"; the rest use random selection.
+func avoidanceCurves() []AlgSpec {
+	return []AlgSpec{
+		{Algorithm: routing.Duato()},
+		{Algorithm: routing.DallyAoki(), Selection: routing.MinCongestion()},
+		{Algorithm: routing.NegativeFirst()},
+		{Algorithm: routing.DOR()},
+	}
+}
+
+// Fig3a is the deadlock characterization experiment: token seizures
+// normalized by delivered packets vs load for two widely varying time-out
+// thresholds (4 and 64), uniform traffic, Disha with a maximum misroute of
+// three. The paper's claim: under 2% of injected packets ever seize the
+// Token below saturation.
+func Fig3a(sc Scale) *Spec {
+	return &Spec{
+		Name:    "fig3a-deadlock-characterization",
+		Topo:    sc.torus(),
+		Pattern: uniformPattern,
+		Algs: []AlgSpec{
+			{Label: "disha-m3-tout4", Algorithm: routing.Disha(3), Recovery: true, Timeout: 4},
+			{Label: "disha-m3-tout64", Algorithm: routing.Disha(3), Recovery: true, Timeout: 64},
+		},
+		Loads:          sc.Loads,
+		MsgLen:         sc.MsgLen,
+		Warmup:         sc.Warmup,
+		Measure:        sc.Measure,
+		Seed:           sc.Seed,
+		WFGSampleEvery: 500,
+	}
+}
+
+// Fig3b is the time-out selection experiment: latency vs load for T_out in
+// {4, 8, 16, 64}. Small time-outs trigger false detections, large ones
+// delay recovery; 8-16 is the paper's sweet spot.
+func Fig3b(sc Scale) *Spec {
+	algs := make([]AlgSpec, 0, 4)
+	for _, tout := range []sim.Cycle{4, 8, 16, 64} {
+		algs = append(algs, AlgSpec{
+			Label:     "disha-m3-tout" + itoa(int(tout)),
+			Algorithm: routing.Disha(3),
+			Recovery:  true,
+			Timeout:   tout,
+		})
+	}
+	return &Spec{
+		Name:    "fig3b-timeout-selection",
+		Topo:    sc.torus(),
+		Pattern: uniformPattern,
+		Algs:    algs,
+		Loads:   sc.Loads,
+		MsgLen:  sc.MsgLen,
+		Warmup:  sc.Warmup,
+		Measure: sc.Measure,
+		Seed:    sc.Seed,
+	}
+}
+
+// comparisonSpec builds the Figures 4-7 shape: Disha M=0 and M=3 against
+// the four avoidance baselines under the given traffic pattern.
+func comparisonSpec(name string, sc Scale, pattern func(topology.Topology) (traffic.Pattern, error)) *Spec {
+	return &Spec{
+		Name:    name,
+		Topo:    sc.torus(),
+		Pattern: pattern,
+		Algs:    append(dishaCurves(8), avoidanceCurves()...),
+		Loads:   sc.Loads,
+		MsgLen:  sc.MsgLen,
+		Warmup:  sc.Warmup,
+		Measure: sc.Measure,
+		Seed:    sc.Seed,
+	}
+}
+
+// Fig4 compares all schemes under uniform traffic (paper: Disha M=0's
+// latency rises linearly with load; M=3 saturates around 0.65 with Duato a
+// distant second at 0.35; peak throughput ~35% over Duato and sustained).
+func Fig4(sc Scale) *Spec { return comparisonSpec("fig4-uniform", sc, uniformPattern) }
+
+// Fig5 compares all schemes under bit-reversal traffic (paper: Disha M=0
+// saturates around 0.7, M=3 around 0.45; peak throughput ~50% over Duato).
+func Fig5(sc Scale) *Spec {
+	return comparisonSpec("fig5-bit-reversal", sc, func(t topology.Topology) (traffic.Pattern, error) {
+		return traffic.BitReversal(t)
+	})
+}
+
+// Fig6 compares all schemes under matrix-transpose traffic (paper: Disha
+// M=0 saturates around 0.7, more than twice Duato; peak ~50% over Duato but
+// not sustained).
+func Fig6(sc Scale) *Spec {
+	return comparisonSpec("fig6-transpose", sc, func(t topology.Topology) (traffic.Pattern, error) {
+		return traffic.Transpose(t)
+	})
+}
+
+// Fig7 compares all schemes under hot-spot traffic: 5% of all traffic is
+// directed at one (fixed) hot node on top of uniform background. The paper
+// observes early saturation for every scheme, Disha M=3 slightly ahead of
+// Duato, and Disha M=0 behind everyone — the one case where misrouting
+// helps by steering around the hot region.
+func Fig7(sc Scale) *Spec {
+	spec := comparisonSpec("fig7-hotspot", sc, func(t topology.Topology) (traffic.Pattern, error) {
+		// A fixed, reproducible hot node away from (0,0).
+		spot := t.NodeAt(topology.Coord{3 % t.Radix(0), 5 % t.Radix(1)})
+		return traffic.HotSpot(traffic.Uniform(t), spot, 0.05), nil
+	})
+	// Hot-spot saturates early; sweep the low-load region more finely.
+	spec.Loads = hotspotLoads(sc)
+	return spec
+}
+
+func hotspotLoads(sc Scale) []float64 {
+	if len(sc.Loads) > 0 && sc.Loads[len(sc.Loads)-1] <= 0.5 {
+		return sc.Loads
+	}
+	return []float64{0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.4, 0.5}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// Figures returns all canned figure specs keyed by their short name.
+func Figures(sc Scale) map[string]*Spec {
+	return map[string]*Spec{
+		"3a": Fig3a(sc),
+		"3b": Fig3b(sc),
+		"4":  Fig4(sc),
+		"5":  Fig5(sc),
+		"6":  Fig6(sc),
+		"7":  Fig7(sc),
+	}
+}

@@ -1,0 +1,392 @@
+// Package harness runs the paper's experiments: it builds networks from
+// declarative specs, applies the warm-up / measurement / drain methodology,
+// normalizes throughput against network capacity, and renders the resulting
+// curves as tables and CSV. The canned specs in figures.go correspond
+// one-to-one to the paper's figures.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// AlgSpec describes one curve of an experiment: a routing algorithm with
+// its selection function and recovery settings.
+type AlgSpec struct {
+	// Label names the curve; defaults to the algorithm name.
+	Label     string
+	Algorithm routing.Algorithm
+	// Selection defaults to random (the paper simulates Dally & Aoki with
+	// minimum-congestion and everything else with random selection).
+	Selection routing.Selection
+	// Recovery enables time-out detection, the Token and the Deadlock
+	// Buffer. It must be true for Disha and false for avoidance schemes.
+	Recovery bool
+	// Timeout is T_out in cycles when Recovery is on (default 8).
+	Timeout sim.Cycle
+}
+
+func (a AlgSpec) label() string {
+	if a.Label != "" {
+		return a.Label
+	}
+	return a.Algorithm.Name()
+}
+
+// Spec is a declarative experiment: a topology, a traffic pattern, a set of
+// algorithm curves and a load sweep.
+type Spec struct {
+	Name string
+	// Topo builds the network graph (fresh per run for safety).
+	Topo func() topology.Topology
+	// Pattern builds the workload for the topology.
+	Pattern func(topology.Topology) (traffic.Pattern, error)
+	Algs    []AlgSpec
+	// Loads are the offered load rates swept (fraction of capacity).
+	Loads  []float64
+	MsgLen int
+	// Router parameters shared by all curves (Timeout and
+	// DeadlockBufferDepth are controlled per AlgSpec).
+	VCs, BufferDepth int
+	Alloc            router.AllocPolicy
+	// Warmup cycles run before measurement; Measure cycles are observed.
+	Warmup, Measure int
+	Seed            uint64
+	TokenHops       int
+	// WFGSampleEvery, when positive, runs the wait-for-graph analyzer every
+	// that many cycles during measurement and records true-deadlock
+	// statistics (used for the deadlock characterization experiment).
+	WFGSampleEvery int
+	// Batches splits the measurement window for batch-means confidence
+	// intervals on the latency estimate (default 5; 1 disables).
+	Batches int
+}
+
+// PointResult is the measurement of one (algorithm, load) pair.
+type PointResult struct {
+	Load           float64
+	MeanLatency    float64 // creation -> delivery, cycles
+	LatencyCI95    float64 // batch-means 95% confidence halfwidth on MeanLatency
+	MeanNetLatency float64 // injection -> delivery, cycles
+	P95Latency     float64
+	Delivered      int64
+	Offered        int64
+	Throughput     float64 // normalized accepted traffic, fraction of capacity
+	TokenSeizures  int64   // during measurement
+	SeizureRatio   float64 // seizures / delivered (Figure 3a's y-axis)
+	TimeoutEvents  int64
+	TrueDeadlocks  int64 // WFG-sampled deadlocked configurations (if enabled)
+	WFGSamples     int64
+	MisrouteHops   int64
+}
+
+// Result bundles an experiment's curves.
+type Result struct {
+	Spec   *Spec
+	Series []metrics.Series
+	Points map[string][]PointResult // keyed by curve label
+}
+
+// Run executes the experiment. progress, if non-nil, receives one line per
+// completed point.
+func (s *Spec) Run(progress func(string)) (*Result, error) {
+	if err := s.normalize(); err != nil {
+		return nil, err
+	}
+	res := &Result{Spec: s, Points: make(map[string][]PointResult)}
+	for _, alg := range s.Algs {
+		series := metrics.Series{Label: alg.label()}
+		for _, load := range s.Loads {
+			pr, err := s.runPoint(alg, load)
+			if err != nil {
+				return nil, fmt.Errorf("%s @%.2f: %w", alg.label(), load, err)
+			}
+			res.Points[alg.label()] = append(res.Points[alg.label()], pr)
+			deadlockRate := 0.0
+			if pr.WFGSamples > 0 {
+				deadlockRate = float64(pr.TrueDeadlocks) / float64(pr.WFGSamples)
+			}
+			series.Append(metrics.Point{
+				X:          pr.Load,
+				Latency:    pr.MeanLatency,
+				Throughput: pr.Throughput,
+				Extra: map[string]float64{
+					"seizure_ratio":      pr.SeizureRatio,
+					"net_latency":        pr.MeanNetLatency,
+					"p95":                pr.P95Latency,
+					"latency_ci95":       pr.LatencyCI95,
+					"true_deadlock_rate": deadlockRate,
+				},
+			})
+			if progress != nil {
+				progress(fmt.Sprintf("%-22s load=%.2f latency=%8.1f thpt=%.3f seiz=%d",
+					alg.label(), pr.Load, pr.MeanLatency, pr.Throughput, pr.TokenSeizures))
+			}
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+func (s *Spec) normalize() error {
+	if s.Topo == nil || s.Pattern == nil || len(s.Algs) == 0 || len(s.Loads) == 0 {
+		return fmt.Errorf("harness: spec %q incomplete", s.Name)
+	}
+	if s.MsgLen == 0 {
+		s.MsgLen = 32
+	}
+	if s.VCs == 0 {
+		s.VCs = 4
+	}
+	if s.BufferDepth == 0 {
+		s.BufferDepth = 2
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 2000
+	}
+	if s.Measure == 0 {
+		s.Measure = 6000
+	}
+	if s.TokenHops == 0 {
+		s.TokenHops = 4
+	}
+	if s.Batches == 0 {
+		s.Batches = 5
+	}
+	if s.Batches < 1 {
+		return fmt.Errorf("harness: batches %d < 1", s.Batches)
+	}
+	return nil
+}
+
+func (s *Spec) runPoint(alg AlgSpec, load float64) (PointResult, error) {
+	topo := s.Topo()
+	pattern, err := s.Pattern(topo)
+	if err != nil {
+		return PointResult{}, err
+	}
+	rc := router.Default()
+	rc.VCs = s.VCs
+	rc.BufferDepth = s.BufferDepth
+	rc.Alloc = s.Alloc
+	if alg.Recovery {
+		rc.Timeout = alg.Timeout
+		if rc.Timeout == 0 {
+			rc.Timeout = 8
+		}
+		rc.DeadlockBufferDepth = 1
+	} else {
+		rc.Timeout = 0
+		rc.DeadlockBufferDepth = 0
+	}
+	net, err := network.New(network.Config{
+		Topo:              topo,
+		Router:            rc,
+		Algorithm:         alg.Algorithm,
+		Selection:         alg.Selection,
+		Pattern:           pattern,
+		LoadRate:          load,
+		MsgLen:            s.MsgLen,
+		Seed:              s.Seed ^ hash(alg.label()) ^ uint64(load*1e6),
+		TokenHopsPerCycle: s.TokenHops,
+	})
+	if err != nil {
+		return PointResult{}, err
+	}
+
+	// Warm-up: run without collecting.
+	net.Run(s.Warmup)
+	startCounters := net.Counters()
+
+	// Measurement: collect latency of every packet delivered in-window,
+	// batched for the confidence interval.
+	var age, netLat metrics.Collector
+	batchMeans := make([]float64, 0, s.Batches)
+	var batch metrics.Collector
+	net.OnDeliver = func(p *packet.Packet) {
+		age.Add(float64(p.Age()))
+		netLat.Add(float64(p.NetworkLatency()))
+		batch.Add(float64(p.Age()))
+	}
+	pr := PointResult{Load: load}
+	ran := 0
+	nextWFG := s.WFGSampleEvery
+	for b := 0; b < s.Batches; b++ {
+		target := (b + 1) * s.Measure / s.Batches
+		for ran < target {
+			step := target - ran
+			if s.WFGSampleEvery > 0 && nextWFG-ran < step {
+				step = nextWFG - ran
+			}
+			net.Run(step)
+			ran += step
+			if s.WFGSampleEvery > 0 && ran >= nextWFG {
+				w := core.AnalyzeWFG(net.Routers())
+				pr.WFGSamples++
+				if w.TrueDeadlock() {
+					pr.TrueDeadlocks++
+				}
+				nextWFG += s.WFGSampleEvery
+			}
+		}
+		if batch.Count() > 0 {
+			batchMeans = append(batchMeans, batch.Mean())
+		}
+		batch.Reset()
+	}
+	pr.LatencyCI95 = ci95(batchMeans)
+	end := net.Counters()
+
+	delivered := end.PacketsDelivered - startCounters.PacketsDelivered
+	flits := end.FlitsDelivered - startCounters.FlitsDelivered
+	pr.Delivered = delivered
+	pr.Offered = end.PacketsOffered - startCounters.PacketsOffered
+	pr.MeanLatency = age.Mean()
+	pr.MeanNetLatency = netLat.Mean()
+	pr.P95Latency = age.Percentile(95)
+	pr.TokenSeizures = end.TokenSeizures - startCounters.TokenSeizures
+	pr.TimeoutEvents = end.TimeoutEvents - startCounters.TimeoutEvents
+	pr.MisrouteHops = end.MisrouteHops - startCounters.MisrouteHops
+	if delivered > 0 {
+		pr.SeizureRatio = float64(pr.TokenSeizures) / float64(delivered)
+	}
+
+	// Normalized accepted traffic: flits/node/cycle over the network's
+	// capacity (the load normalization of Section 4.1 in reverse).
+	st := traffic.MeasureMean(topo, pattern, 64)
+	capacityFPC := float64(traffic.TotalChannels(topo)) / (float64(topo.Nodes()) * st.MeanDistance)
+	accepted := float64(flits) / (float64(s.Measure) * float64(topo.Nodes()))
+	pr.Throughput = accepted / capacityFPC
+	return pr, nil
+}
+
+func hash(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- Rendering -----------------------------------------------------------------
+
+// LatencyTable renders mean latency vs load, one column per curve.
+func (r *Result) LatencyTable() string {
+	return r.table("latency (cycles)", func(p PointResult) float64 { return p.MeanLatency }, "%10.1f")
+}
+
+// ThroughputTable renders normalized accepted traffic vs load.
+func (r *Result) ThroughputTable() string {
+	return r.table("throughput (fraction of capacity)", func(p PointResult) float64 { return p.Throughput }, "%10.3f")
+}
+
+// SeizureTable renders token seizures normalized by delivered packets.
+func (r *Result) SeizureTable() string {
+	return r.table("token seizures / delivered packet", func(p PointResult) float64 { return p.SeizureRatio }, "%10.5f")
+}
+
+func (r *Result) table(title string, f func(PointResult) float64, cellFmt string) string {
+	labels := make([]string, 0, len(r.Points))
+	for l := range r.Points {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", r.Spec.Name, title)
+	fmt.Fprintf(&sb, "%6s", "load")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, " %20s", l)
+	}
+	sb.WriteString("\n")
+	for i, load := range r.Spec.Loads {
+		fmt.Fprintf(&sb, "%6.2f", load)
+		for _, l := range labels {
+			pts := r.Points[l]
+			if i < len(pts) {
+				fmt.Fprintf(&sb, " %20s", fmt.Sprintf(cellFmt, f(pts[i])))
+			} else {
+				fmt.Fprintf(&sb, " %20s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders every curve's points as CSV (one block per curve).
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	for _, s := range r.Series {
+		sb.WriteString(s.CSV())
+	}
+	return sb.String()
+}
+
+// SaturationSummary reports each curve's saturation load (latency > 3x
+// zero-load) and peak throughput — the numbers the paper quotes in prose.
+func (r *Result) SaturationSummary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — saturation summary\n", r.Spec.Name)
+	fmt.Fprintf(&sb, "%-22s %12s %12s\n", "curve", "saturation", "peak-thpt")
+	for _, s := range r.Series {
+		fmt.Fprintf(&sb, "%-22s %12.2f %12.3f\n", s.Label, s.SaturationLoad(3), s.PeakThroughput())
+	}
+	return sb.String()
+}
+
+// ci95 computes the batch-means 95% confidence halfwidth: t * s / sqrt(n)
+// with Student-t quantiles for the small batch counts the harness uses.
+func ci95(means []float64) float64 {
+	n := len(means)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, m := range means {
+		mean += m
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, m := range means {
+		d := m - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / float64(n-1))
+	return tQuantile95(n-1) * s / math.Sqrt(float64(n))
+}
+
+// tQuantile95 returns the two-sided 95% Student-t quantile for df degrees
+// of freedom (df >= 1), falling back to the normal quantile for large df.
+func tQuantile95(df int) float64 {
+	table := []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	}
+	if df < 1 {
+		return table[0]
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}

@@ -1,0 +1,271 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func tinySpec() *Spec {
+	return &Spec{
+		Name:    "tiny",
+		Topo:    func() topology.Topology { return topology.MustTorus(4, 4) },
+		Pattern: uniformPattern,
+		Algs: []AlgSpec{
+			{Algorithm: routing.Disha(0), Recovery: true, Timeout: 8},
+			{Algorithm: routing.DOR()},
+		},
+		Loads:   []float64{0.2, 0.5},
+		MsgLen:  8,
+		Warmup:  300,
+		Measure: 800,
+		Seed:    42,
+	}
+}
+
+func TestRunProducesSeries(t *testing.T) {
+	spec := tinySpec()
+	var lines []string
+	res, err := spec.Run(func(s string) { lines = append(lines, s) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	if len(lines) != 4 {
+		t.Fatalf("progress lines = %d, want 4", len(lines))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points", s.Label, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Latency <= 0 {
+				t.Fatalf("%s: non-positive latency at load %v", s.Label, p.X)
+			}
+			if p.Throughput <= 0 || p.Throughput > 1.2 {
+				t.Fatalf("%s: implausible throughput %v", s.Label, p.Throughput)
+			}
+		}
+	}
+	for label, pts := range res.Points {
+		for _, p := range pts {
+			if p.Delivered == 0 {
+				t.Fatalf("%s delivered nothing at load %v", label, p.Load)
+			}
+			if p.MeanNetLatency > p.MeanLatency+1e-9 {
+				t.Fatalf("%s: network latency exceeds age", label)
+			}
+		}
+	}
+}
+
+func TestThroughputTracksLoadBelowSaturation(t *testing.T) {
+	spec := tinySpec()
+	spec.Algs = spec.Algs[:1] // Disha only
+	spec.Loads = []float64{0.2, 0.4}
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Points[spec.Algs[0].label()]
+	// Below saturation accepted ~= offered: throughput within 25% of load.
+	for _, p := range pts {
+		if p.Throughput < p.Load*0.75 || p.Throughput > p.Load*1.25 {
+			t.Fatalf("throughput %v at load %v diverges from offered", p.Throughput, p.Load)
+		}
+	}
+	if pts[1].Throughput <= pts[0].Throughput {
+		t.Fatal("throughput must grow with load below saturation")
+	}
+}
+
+func TestRecoveryFlagControlsRouterConfig(t *testing.T) {
+	spec := tinySpec()
+	spec.Loads = []float64{0.3}
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dor := res.Points["dor"][0]
+	if dor.TokenSeizures != 0 || dor.TimeoutEvents != 0 {
+		t.Fatal("avoidance curve must run without detection/recovery")
+	}
+}
+
+func TestWFGSampling(t *testing.T) {
+	spec := tinySpec()
+	spec.Algs = []AlgSpec{{Algorithm: routing.Disha(0), Recovery: true, Timeout: 8}}
+	spec.Loads = []float64{0.3}
+	spec.WFGSampleEvery = 200
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points["disha-m0"][0]
+	if p.WFGSamples != 4 { // 800 / 200
+		t.Fatalf("WFG samples = %d, want 4", p.WFGSamples)
+	}
+}
+
+func TestIncompleteSpecFails(t *testing.T) {
+	if _, err := (&Spec{Name: "broken"}).Run(nil); err == nil {
+		t.Fatal("incomplete spec must fail")
+	}
+}
+
+func TestTablesAndCSV(t *testing.T) {
+	spec := tinySpec()
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := res.LatencyTable()
+	if !strings.Contains(lat, "disha-m0") || !strings.Contains(lat, "dor") || !strings.Contains(lat, "0.50") {
+		t.Fatalf("latency table malformed:\n%s", lat)
+	}
+	if !strings.Contains(res.ThroughputTable(), "throughput") {
+		t.Fatal("throughput table malformed")
+	}
+	if !strings.Contains(res.SeizureTable(), "seizures") {
+		t.Fatal("seizure table malformed")
+	}
+	csv := res.CSV()
+	if !strings.Contains(csv, "series,load,latency,throughput") {
+		t.Fatalf("csv malformed:\n%s", csv)
+	}
+	if !strings.Contains(res.SaturationSummary(), "saturation") {
+		t.Fatal("saturation summary malformed")
+	}
+}
+
+func TestFigureSpecsConstruct(t *testing.T) {
+	sc := SmallScale()
+	figs := Figures(sc)
+	for _, name := range []string{"3a", "3b", "4", "5", "6", "7"} {
+		spec, ok := figs[name]
+		if !ok {
+			t.Fatalf("figure %s missing", name)
+		}
+		if err := spec.normalize(); err != nil {
+			t.Fatalf("figure %s: %v", name, err)
+		}
+		topo := spec.Topo()
+		if _, err := spec.Pattern(topo); err != nil {
+			t.Fatalf("figure %s pattern: %v", name, err)
+		}
+	}
+	if len(figs["3b"].Algs) != 4 {
+		t.Fatal("fig3b must sweep 4 time-outs")
+	}
+	if len(figs["4"].Algs) != 6 {
+		t.Fatal("fig4 must compare 6 schemes")
+	}
+	// Dally & Aoki must use min-congestion, everything else random.
+	for _, a := range figs["4"].Algs {
+		if a.Algorithm.Name() == "dally-aoki" {
+			if a.Selection == nil || a.Selection.Name() != "min-congestion" {
+				t.Fatal("dally-aoki must use min-congestion selection")
+			}
+		} else if a.Selection != nil {
+			t.Fatalf("%s should default to random selection", a.Algorithm.Name())
+		}
+	}
+}
+
+// TestFigureSmoke runs a miniature Figure 4 end to end: at the modest load
+// the adaptive Disha schemes must deliver packets, and every scheme's
+// latency must be at least the no-contention minimum.
+func TestFigureSmoke(t *testing.T) {
+	sc := Scale{Radix: 4, MsgLen: 8, Warmup: 200, Measure: 600, Loads: []float64{0.3}, Seed: 7}
+	res, err := Fig4(sc).Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, pts := range res.Points {
+		if pts[0].Delivered == 0 {
+			t.Fatalf("%s delivered nothing", label)
+		}
+		if pts[0].MeanLatency < float64(sc.MsgLen) {
+			t.Fatalf("%s latency %v below message serialization time", label, pts[0].MeanLatency)
+		}
+	}
+}
+
+func TestHotspotPatternFixedSpot(t *testing.T) {
+	sc := SmallScale()
+	spec := Fig7(sc)
+	topo := spec.Topo()
+	p1, err := spec.Pattern(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := spec.Pattern(topo)
+	if p1.Name() != p2.Name() {
+		t.Fatal("hotspot pattern must be reproducible")
+	}
+	if !strings.Contains(p1.Name(), "hotspot-5%") {
+		t.Fatalf("pattern name %q", p1.Name())
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	p := PaperScale()
+	if p.Radix != 16 || p.MsgLen != 32 {
+		t.Fatal("paper scale must match Section 4.1")
+	}
+	s := SmallScale()
+	if s.Radix >= p.Radix {
+		t.Fatal("small scale must be smaller than paper scale")
+	}
+	// Uniform capacity sanity at paper scale: full load equals one packet
+	// per node every 64 cycles.
+	topo := topology.MustTorus(16, 16)
+	prob, err := traffic.InjectionProbability(topo, traffic.Uniform(topo), 32, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prob < 0.014 || prob > 0.017 {
+		t.Fatalf("full-load probability %v out of expected band", prob)
+	}
+}
+
+func TestBatchMeansCI(t *testing.T) {
+	spec := tinySpec()
+	spec.Algs = spec.Algs[:1]
+	spec.Loads = []float64{0.3}
+	res, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[spec.Algs[0].label()][0]
+	if p.LatencyCI95 <= 0 {
+		t.Fatalf("expected a positive CI, got %v", p.LatencyCI95)
+	}
+	// The CI must be a plausible fraction of the mean at moderate load.
+	if p.LatencyCI95 > p.MeanLatency {
+		t.Fatalf("CI %v wider than the mean %v", p.LatencyCI95, p.MeanLatency)
+	}
+}
+
+func TestCI95Helper(t *testing.T) {
+	if ci95(nil) != 0 || ci95([]float64{5}) != 0 {
+		t.Fatal("degenerate CIs must be zero")
+	}
+	// Identical batches: zero variance, zero CI.
+	if ci95([]float64{7, 7, 7, 7}) != 0 {
+		t.Fatal("zero-variance CI must be zero")
+	}
+	// Known case: means {1,2,3}, sd=1, t(2)=4.303 -> 4.303/sqrt(3)=2.484...
+	got := ci95([]float64{1, 2, 3})
+	if got < 2.4 || got > 2.6 {
+		t.Fatalf("ci95({1,2,3}) = %v", got)
+	}
+	if tQuantile95(0) != 12.706 || tQuantile95(4) != 2.776 || tQuantile95(100) != 1.960 {
+		t.Fatal("t quantiles wrong")
+	}
+}

@@ -1,0 +1,281 @@
+// Package metrics provides the measurement primitives the experiment
+// harness uses: latency sample collection with summary statistics,
+// histograms, and labeled (x, y) series matching the paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Collector accumulates scalar samples (latencies in cycles, typically).
+type Collector struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends one sample.
+func (c *Collector) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// Count returns the number of samples collected.
+func (c *Collector) Count() int { return len(c.samples) }
+
+// Reset discards all samples.
+func (c *Collector) Reset() {
+	c.samples = c.samples[:0]
+	c.sorted = false
+}
+
+// Mean returns the sample mean, or 0 with no samples.
+func (c *Collector) Mean() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// StdDev returns the population standard deviation.
+func (c *Collector) StdDev() float64 {
+	n := len(c.samples)
+	if n == 0 {
+		return 0
+	}
+	m := c.Mean()
+	ss := 0.0
+	for _, v := range c.samples {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (c *Collector) Min() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return c.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (c *Collector) Max() float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	return c.samples[len(c.samples)-1]
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) using
+// nearest-rank on the sorted samples.
+func (c *Collector) Percentile(p float64) float64 {
+	n := len(c.samples)
+	if n == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	if p <= 0 {
+		return c.samples[0]
+	}
+	if p >= 100 {
+		return c.samples[n-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.samples[rank-1]
+}
+
+func (c *Collector) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Summary is a fixed snapshot of a Collector.
+type Summary struct {
+	Count         int
+	Mean, StdDev  float64
+	Min, Max      float64
+	P50, P95, P99 float64
+}
+
+// Summarize computes all summary statistics at once.
+func (c *Collector) Summarize() Summary {
+	return Summary{
+		Count:  c.Count(),
+		Mean:   c.Mean(),
+		StdDev: c.StdDev(),
+		Min:    c.Min(),
+		Max:    c.Max(),
+		P50:    c.Percentile(50),
+		P95:    c.Percentile(95),
+		P99:    c.Percentile(99),
+	}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
+		s.Count, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.P99, s.Max)
+}
+
+// Histogram counts samples into uniform-width buckets over [lo, hi); values
+// outside the range land in the first/last bucket.
+type Histogram struct {
+	lo, hi  float64
+	buckets []int64
+	count   int64
+}
+
+// NewHistogram builds a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 || hi <= lo {
+		panic("metrics: invalid histogram shape")
+	}
+	return &Histogram{lo: lo, hi: hi, buckets: make([]int64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	i := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.buckets)))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(h.buckets) {
+		i = len(h.buckets) - 1
+	}
+	h.buckets[i]++
+	h.count++
+}
+
+// Count returns total samples recorded.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Buckets returns the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// BucketBounds returns the [lo, hi) range of bucket i.
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.buckets))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Render draws a simple ASCII bar chart, one line per bucket.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var max int64 = 1
+	for _, b := range h.buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	for i, b := range h.buckets {
+		lo, hi := h.BucketBounds(i)
+		bar := strings.Repeat("#", int(float64(width)*float64(b)/float64(max)))
+		fmt.Fprintf(&sb, "[%8.1f,%8.1f) %8d %s\n", lo, hi, b, bar)
+	}
+	return sb.String()
+}
+
+// Point is one measurement of a sweep: x is the independent variable (load
+// rate), and the named fields mirror what the paper's figures plot.
+type Point struct {
+	X          float64 // offered load rate
+	Latency    float64 // mean packet latency, cycles
+	Throughput float64 // normalized accepted traffic (fraction of capacity)
+	Extra      map[string]float64
+}
+
+// Series is a labeled sequence of points, e.g. one curve of Figure 4.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Append adds a point keeping X order (appends are expected in order).
+func (s *Series) Append(p Point) { s.Points = append(s.Points, p) }
+
+// CSV renders the series as lines "label,x,latency,throughput[,extras]"
+// with a header derived from the first point's Extra keys (sorted).
+func (s *Series) CSV() string {
+	var sb strings.Builder
+	keys := s.extraKeys()
+	sb.WriteString("series,load,latency,throughput")
+	for _, k := range keys {
+		sb.WriteString("," + k)
+	}
+	sb.WriteString("\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%s,%.4f,%.3f,%.4f", s.Label, p.X, p.Latency, p.Throughput)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, ",%.6g", p.Extra[k])
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func (s *Series) extraKeys() []string {
+	if len(s.Points) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(s.Points[0].Extra))
+	for k := range s.Points[0].Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SaturationLoad estimates the saturation point of a latency-vs-load curve:
+// the smallest X whose latency exceeds threshold times the zero-load
+// latency (the curve's first point). It returns the last X plus one step if
+// the curve never saturates within the sweep.
+func (s *Series) SaturationLoad(threshold float64) float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	base := s.Points[0].Latency
+	if base <= 0 {
+		base = 1
+	}
+	for _, p := range s.Points {
+		if p.Latency > base*threshold {
+			return p.X
+		}
+	}
+	last := s.Points[len(s.Points)-1].X
+	if len(s.Points) > 1 {
+		last += s.Points[len(s.Points)-1].X - s.Points[len(s.Points)-2].X
+	}
+	return last
+}
+
+// PeakThroughput returns the maximum throughput reached across the sweep.
+func (s *Series) PeakThroughput() float64 {
+	peak := 0.0
+	for _, p := range s.Points {
+		if p.Throughput > peak {
+			peak = p.Throughput
+		}
+	}
+	return peak
+}

@@ -1,0 +1,124 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/router"
+	"repro/internal/topology"
+)
+
+// FailLink severs the bidirectional link between node and its neighbor on
+// port, modeling a hard link fault. The paper presents fault tolerance as a
+// Disha capability: fully adaptive routing steers around faults (with
+// misrouting where needed), and any packet stranded by a fault times out
+// and escapes through the Deadlock Buffer lane, which FailLink re-routes
+// over live links only (a breadth-first next-hop table replaces
+// dimension-order routing).
+//
+// Restrictions, each returning an error: the link must exist and be idle
+// (dynamic mid-stream faults lose flits and are not modeled — as in the
+// paper); the live network must remain strongly connected; and concurrent
+// recovery is unsupported (its Hamiltonian lanes assume an intact path).
+func (n *Network) FailLink(node topology.Node, port int) error {
+	if n.cfg.Router.Recovery == router.RecoveryConcurrent {
+		return fmt.Errorf("network: fault injection is not supported with concurrent recovery")
+	}
+	if int(node) < 0 || int(node) >= len(n.routers) || port < 0 || port >= n.topo.Degree() {
+		return fmt.Errorf("network: no such link %d/%d", node, port)
+	}
+	a := n.routers[node]
+	b := a.Neighbor(port)
+	if b == nil {
+		return fmt.Errorf("network: link %d/%d does not exist (or already failed)", node, port)
+	}
+	rev := topology.ReversePort(port)
+	if a.LinkBusy(port) || b.LinkBusy(rev) {
+		return fmt.Errorf("network: link %d/%d is carrying traffic; drain before failing it", node, port)
+	}
+	a.Disconnect(port)
+	b.Disconnect(rev)
+	if !n.liveConnected() {
+		// Restore: a disconnected network cannot deliver all traffic.
+		a.Connect(port, b)
+		b.Connect(rev, a)
+		return fmt.Errorf("network: failing link %d/%d would disconnect the network", node, port)
+	}
+	n.failedLinks++
+	n.rebuildDBTable()
+	return nil
+}
+
+// FailedLinks returns how many links have been failed.
+func (n *Network) FailedLinks() int { return n.failedLinks }
+
+// liveConnected checks strong connectivity over live links. Links are
+// failed in pairs, so the live graph is symmetric and one BFS suffices.
+func (n *Network) liveConnected() bool {
+	seen := make([]bool, len(n.routers))
+	queue := []topology.Node{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		r := n.routers[cur]
+		for p := 0; p < n.topo.Degree(); p++ {
+			nb := r.Neighbor(p)
+			if nb == nil || seen[nb.NodeID()] {
+				continue
+			}
+			seen[nb.NodeID()] = true
+			count++
+			queue = append(queue, nb.NodeID())
+		}
+	}
+	return count == len(n.routers)
+}
+
+// rebuildDBTable computes, for every destination, the breadth-first
+// next-hop port at every node over live links, and installs the table in
+// every router. The per-destination BFS tree is loop-free, so a recovered
+// packet following it always reaches its destination — preserving the
+// recovery theorem's connectivity requirement (Lemma 1) under faults.
+func (n *Network) rebuildDBTable() {
+	nodes := len(n.routers)
+	table := make([]int32, nodes*nodes)
+	for i := range table {
+		table[i] = int32(router.PortEject)
+	}
+	dist := make([]int, nodes)
+	var queue []topology.Node
+	for d := 0; d < nodes; d++ {
+		dst := topology.Node(d)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[dst] = 0
+		queue = append(queue[:0], dst)
+		// Reverse BFS from the destination: for each node discovered via a
+		// live link, the next hop toward dst is the port back along it.
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			r := n.routers[cur]
+			for p := 0; p < n.topo.Degree(); p++ {
+				nb := r.Neighbor(p)
+				if nb == nil {
+					continue
+				}
+				v := nb.NodeID()
+				if dist[v] >= 0 {
+					continue
+				}
+				dist[v] = dist[cur] + 1
+				// The link is bidirectional: from v, the reverse port leads
+				// to cur, one hop closer to dst.
+				table[d*nodes+int(v)] = int32(topology.ReversePort(p))
+				queue = append(queue, v)
+			}
+		}
+	}
+	for _, r := range n.routers {
+		r.SetDBRouteTable(table)
+	}
+}

@@ -1,0 +1,157 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func TestFailLinkValidation(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	n := mustNet(t, testConfig(topo, routing.Disha(3), 0.0, 1))
+	if err := n.FailLink(0, 99); err == nil {
+		t.Error("bad port accepted")
+	}
+	if err := n.FailLink(0, 0); err != nil {
+		t.Fatalf("idle link refused: %v", err)
+	}
+	if n.FailedLinks() != 1 {
+		t.Fatal("failed link not counted")
+	}
+	if err := n.FailLink(0, 0); err == nil {
+		t.Error("double-failing a link accepted")
+	}
+	// The paired reverse direction is gone too.
+	nb, _ := topo.Neighbor(0, 0)
+	if err := n.FailLink(nb, topology.ReversePort(0)); err == nil {
+		t.Error("reverse direction should already be failed")
+	}
+}
+
+func TestFailLinkRefusesDisconnection(t *testing.T) {
+	// On a 2-node ring (radix-2 single dimension has doubled links) use a
+	// small mesh: cutting the only link to a corner must be refused.
+	topo := topology.MustMesh(2, 2)
+	cfg := testConfig(topo, routing.Disha(3), 0.0, 1)
+	n := mustNet(t, cfg)
+	// Corner (0,0) connects via +X and +Y. Fail +X, then +Y must refuse.
+	if err := n.FailLink(0, topology.PortFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailLink(0, topology.PortFor(1, 1)); err == nil {
+		t.Fatal("disconnecting a node must be refused")
+	}
+}
+
+func TestFailLinkRefusesBusyLink(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	n := mustNet(t, testConfig(topo, routing.Disha(0), 0.6, 3))
+	n.Run(200) // get traffic flowing everywhere
+	busyRefusals := 0
+	for p := 0; p < topo.Degree(); p++ {
+		for node := 0; node < topo.Nodes(); node++ {
+			if err := n.FailLink(topology.Node(node), p); err != nil {
+				busyRefusals++
+			}
+		}
+	}
+	if busyRefusals == 0 {
+		t.Fatal("expected at least some busy-link refusals under load")
+	}
+}
+
+func TestFailLinkRejectsConcurrentRecovery(t *testing.T) {
+	n := mustNet(t, concurrentConfig(1))
+	if err := n.FailLink(0, 0); err == nil {
+		t.Fatal("fault injection with concurrent recovery must be refused")
+	}
+}
+
+// TestDishaToleratesFaults is the paper's fault-tolerance claim end to end:
+// with several failed links, Disha with misrouting delivers every packet —
+// including packets stranded by the faults, which escape through the
+// fault-aware Deadlock Buffer lane.
+func TestDishaToleratesFaults(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	cfg := testConfig(topo, routing.Disha(3), 0.4, 7)
+	n := mustNet(t, cfg)
+	for _, f := range []struct {
+		node topology.Node
+		port int
+	}{
+		{topo.NodeAt(topology.Coord{0, 0}), topology.PortFor(0, 1)},
+		{topo.NodeAt(topology.Coord{2, 1}), topology.PortFor(1, 1)},
+		{topo.NodeAt(topology.Coord{3, 3}), topology.PortFor(0, -1)},
+	} {
+		if err := n.FailLink(f.node, f.port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drain(t, n, 4000, 60000)
+	c := n.Counters()
+	if c.PacketsDelivered != c.PacketsInjected {
+		t.Fatalf("faulty network lost packets: %d/%d", c.PacketsDelivered, c.PacketsInjected)
+	}
+	if c.PacketsDelivered < 200 {
+		t.Fatalf("only %d packets delivered", c.PacketsDelivered)
+	}
+}
+
+// TestRecoveryLaneRoutesAroundFault forces a recovery whose dimension-order
+// DB path would cross the failed link, verifying the BFS table detours.
+func TestRecoveryLaneRoutesAroundFault(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	cfg := testConfig(topo, routing.Disha(0), 0.8, 10)
+	cfg.Router.VCs = 1
+	cfg.Router.BufferDepth = 1
+	n := mustNet(t, cfg)
+	// Fail a handful of x-links so many DOR DB paths are broken.
+	for _, f := range []struct {
+		node topology.Node
+		port int
+	}{
+		{topo.NodeAt(topology.Coord{1, 1}), topology.PortFor(0, 1)},
+		{topo.NodeAt(topology.Coord{1, 2}), topology.PortFor(0, 1)},
+	} {
+		if err := n.FailLink(f.node, f.port); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recovered := 0
+	n.OnDeliver = func(p *packet.Packet) {
+		if p.OnDB {
+			recovered++
+		}
+	}
+	drain(t, n, 4000, 120000)
+	if recovered == 0 {
+		t.Skip("no recoveries at this seed")
+	}
+	if n.Counters().PacketsDelivered != n.Counters().PacketsInjected {
+		t.Fatal("lost packets with recoveries across faults")
+	}
+}
+
+// TestDORWedgesOnFault demonstrates the contrast the paper draws: a
+// deterministic scheme has no alternative when its one path dies.
+func TestDORWedgesOnFault(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	cfg := testConfig(topo, routing.DOR(), 0.4, 7)
+	cfg.Router.Timeout = 0
+	cfg.Router.DeadlockBufferDepth = 0
+	n := mustNet(t, cfg)
+	if err := n.FailLink(topo.NodeAt(topology.Coord{0, 0}), topology.PortFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(4000)
+	if n.RunUntilDrained(20000) {
+		t.Skip("no packet happened to need the failed link (unlikely)")
+	}
+	if n.InFlight() == 0 {
+		t.Fatal("wedged with nothing in flight?")
+	}
+	_ = router.PortEject // document the import
+}

@@ -1,0 +1,96 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Token implements the paper's sequential recovery mutual exclusion
+// (Assumptions 4-6): a single token circulates all routers over a dedicated
+// hardwired path in a fixed Hamiltonian order. A router holding a
+// presumed-deadlocked packet captures the passing token and switches exactly
+// one packet onto the Deadlock Buffer lane; propagation is inhibited until
+// the destination node receives that packet's header, at which point the
+// token resumes from the destination.
+type Token struct {
+	order  []topology.Node
+	index  map[topology.Node]int
+	pos    int
+	speed  int // ring hops advanced per cycle
+	held   bool
+	holder *packet.Packet
+
+	seizures int64
+}
+
+// NewToken builds a token circulating topo's Hamiltonian order at the given
+// hops-per-cycle speed.
+func NewToken(topo topology.Topology, hopsPerCycle int) *Token {
+	order := topo.HamiltonianOrder()
+	idx := make(map[topology.Node]int, len(order))
+	for i, node := range order {
+		idx[node] = i
+	}
+	if hopsPerCycle < 1 {
+		hopsPerCycle = 1
+	}
+	return &Token{order: order, index: idx, speed: hopsPerCycle}
+}
+
+// Held reports whether a recovering packet currently holds the token.
+func (t *Token) Held() bool { return t.held }
+
+// Holder returns the packet holding the token, if any.
+func (t *Token) Holder() *packet.Packet { return t.holder }
+
+// Position returns the node the token currently sits at.
+func (t *Token) Position() topology.Node { return t.order[t.pos] }
+
+// Seizures returns how many times the token has been captured.
+func (t *Token) Seizures() int64 { return t.seizures }
+
+// Step advances the token: if free, it visits up to speed routers this
+// cycle and is captured by the first one holding a presumed-deadlocked
+// packet, which is immediately switched onto the Deadlock Buffer lane and
+// returned (nil when nothing was captured).
+func (t *Token) Step(routers []*router.Router, now sim.Cycle) *packet.Packet {
+	if t.held {
+		return nil
+	}
+	for h := 0; h < t.speed; h++ {
+		r := routers[t.order[t.pos]]
+		if port, vc, ok := r.MostStarved(); ok {
+			p := r.Recover(port, vc, now)
+			t.held = true
+			t.holder = p
+			t.seizures++
+			return p
+		}
+		t.pos = (t.pos + 1) % len(t.order)
+	}
+	return nil
+}
+
+// Release frees the token at the destination node that consumed the
+// recovered packet's header, resuming circulation from there; it reports
+// whether a release actually happened.
+func (t *Token) Release(p *packet.Packet, at topology.Node) bool {
+	// Only the packet that captured the token may release it (Assumption
+	// 6); headers of earlier recovered packets still draining their tails
+	// must not free it.
+	if !t.held || t.holder != p {
+		return false
+	}
+	t.held = false
+	t.holder = nil
+	idx, ok := t.index[at]
+	if !ok {
+		panic(fmt.Sprintf("network: token released at unknown node %d", at))
+	}
+	t.pos = idx
+	return true
+}

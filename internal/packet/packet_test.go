@@ -1,0 +1,117 @@
+package packet
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestFlitKinds(t *testing.T) {
+	p := New(1, 0, 5, 4, 10)
+	kinds := []Kind{Header, Body, Body, Tail}
+	for i, want := range kinds {
+		if got := p.Flit(i).Kind(); got != want {
+			t.Errorf("flit %d kind = %v, want %v", i, got, want)
+		}
+	}
+	if !p.Flit(0).IsHeader() || p.Flit(1).IsHeader() {
+		t.Error("IsHeader wrong")
+	}
+	if !p.Flit(3).IsTail() || p.Flit(2).IsTail() {
+		t.Error("IsTail wrong")
+	}
+}
+
+func TestSingleFlitPacket(t *testing.T) {
+	p := New(2, 0, 1, 1, 0)
+	f := p.Flit(0)
+	if f.Kind() != HeaderTail || !f.IsHeader() || !f.IsTail() {
+		t.Fatalf("single flit kind = %v", f.Kind())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Header: "header", Body: "body", Tail: "tail", HeaderTail: "header+tail", Kind(9): "Kind(9)"} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length packet did not panic")
+		}
+	}()
+	New(1, 0, 1, 0, 0)
+}
+
+func TestFlitRangePanics(t *testing.T) {
+	p := New(1, 0, 1, 4, 0)
+	for _, seq := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Flit(%d) did not panic", seq)
+				}
+			}()
+			p.Flit(seq)
+		}()
+	}
+}
+
+func TestTimestamps(t *testing.T) {
+	p := New(1, topology.Node(0), topology.Node(9), 4, 100)
+	if p.DeliveredAt != -1 || p.InjectedAt != -1 || p.RecoveredAt != -1 {
+		t.Fatal("fresh packet has non-(-1) timestamps")
+	}
+	p.InjectedAt = 110
+	p.DeliveredAt = 150
+	if p.Age() != 50 {
+		t.Errorf("Age = %d, want 50", p.Age())
+	}
+	if p.NetworkLatency() != 40 {
+		t.Errorf("NetworkLatency = %d, want 40", p.NetworkLatency())
+	}
+}
+
+func TestLatencyPanicsBeforeDelivery(t *testing.T) {
+	p := New(1, 0, 1, 4, 0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Age on undelivered packet did not panic")
+			}
+		}()
+		p.Age()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NetworkLatency on undelivered packet did not panic")
+			}
+		}()
+		p.NetworkLatency()
+	}()
+}
+
+func TestDelivered(t *testing.T) {
+	p := New(1, 0, 1, 3, 0)
+	for i := 0; i < 3; i++ {
+		if p.Delivered() {
+			t.Fatalf("Delivered true after %d flits", i)
+		}
+		p.FlitsDelivered++
+	}
+	if !p.Delivered() {
+		t.Fatal("Delivered false after all flits")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	p := New(7, 1, 2, 3, 0)
+	if p.String() == "" || p.Flit(0).String() == "" {
+		t.Fatal("String methods must be non-empty")
+	}
+}

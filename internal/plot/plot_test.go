@@ -1,0 +1,101 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func demoSeries() []metrics.Series {
+	a := metrics.Series{Label: "disha-m0"}
+	b := metrics.Series{Label: "duato"}
+	for i := 1; i <= 8; i++ {
+		x := 0.1 * float64(i)
+		a.Append(metrics.Point{X: x, Latency: 40 + 100*x*x, Throughput: x * 0.9})
+		b.Append(metrics.Point{X: x, Latency: 40 + 400*x*x, Throughput: x * 0.7})
+	}
+	return []metrics.Series{a, b}
+}
+
+func TestRenderBasics(t *testing.T) {
+	s := Render(Config{Title: "demo", Width: 40, Height: 10, XLabel: "load", YLabel: "latency"},
+		demoSeries(), func(p metrics.Point) float64 { return p.Latency })
+	if !strings.Contains(s, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "*") || !strings.Contains(s, "o") {
+		t.Fatalf("missing curve markers:\n%s", s)
+	}
+	if !strings.Contains(s, "* disha-m0") || !strings.Contains(s, "o duato") {
+		t.Fatalf("missing legend:\n%s", s)
+	}
+	if !strings.Contains(s, "x: load, y: latency") {
+		t.Fatal("missing axis labels")
+	}
+	lines := strings.Split(s, "\n")
+	// Title + height rows + axis + ticks + labels + legend.
+	if len(lines) < 10+4 {
+		t.Fatalf("unexpectedly short output (%d lines)", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	s := Render(Config{Title: "empty"}, nil, func(p metrics.Point) float64 { return p.Latency })
+	if !strings.Contains(s, "no data") {
+		t.Fatalf("empty render: %q", s)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	one := metrics.Series{Label: "x", Points: []metrics.Point{{X: 0.5, Latency: 10}}}
+	s := Render(Config{Width: 20, Height: 5}, []metrics.Series{one},
+		func(p metrics.Point) float64 { return p.Latency })
+	if !strings.Contains(s, "*") {
+		t.Fatalf("single point missing:\n%s", s)
+	}
+}
+
+func TestYMaxClipping(t *testing.T) {
+	s := Render(Config{Width: 30, Height: 8, YMax: 100, XLabel: "x", YLabel: "y"},
+		demoSeries(), func(p metrics.Point) float64 { return p.Latency })
+	if !strings.Contains(s, "clipped at 100") {
+		t.Fatalf("clip note missing:\n%s", s)
+	}
+	if !strings.Contains(s, "       100 |") {
+		t.Fatalf("top axis label should be the clip value:\n%s", s)
+	}
+}
+
+func TestLogYSkipsNonPositive(t *testing.T) {
+	srs := metrics.Series{Label: "l", Points: []metrics.Point{
+		{X: 0.1, Latency: 0}, {X: 0.2, Latency: 10}, {X: 0.3, Latency: 1000},
+	}}
+	s := Render(Config{Width: 20, Height: 6, LogY: true, XLabel: "x", YLabel: "y"},
+		[]metrics.Series{srs}, func(p metrics.Point) float64 { return p.Latency })
+	if !strings.Contains(s, "log scale") {
+		t.Fatal("log scale note missing")
+	}
+	if !strings.Contains(s, "1000 |") {
+		t.Fatalf("log top label should be raw value:\n%s", s)
+	}
+}
+
+func TestCollisionsMarked(t *testing.T) {
+	a := metrics.Series{Label: "a", Points: []metrics.Point{{X: 0.5, Latency: 10}, {X: 1, Latency: 20}}}
+	b := metrics.Series{Label: "b", Points: []metrics.Point{{X: 0.5, Latency: 10}, {X: 1, Latency: 5}}}
+	s := Render(Config{Width: 10, Height: 5}, []metrics.Series{a, b},
+		func(p metrics.Point) float64 { return p.Latency })
+	if !strings.Contains(s, "?") {
+		t.Fatalf("overlapping points should collide:\n%s", s)
+	}
+}
+
+func TestConvenienceWrappers(t *testing.T) {
+	if !strings.Contains(Latency("t", demoSeries()), "log scale") {
+		t.Fatal("Latency wrapper must use a log axis")
+	}
+	if !strings.Contains(Throughput("t", demoSeries()), "accepted") {
+		t.Fatal("Throughput wrapper missing axis label")
+	}
+}

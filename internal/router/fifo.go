@@ -1,0 +1,44 @@
+package router
+
+import "repro/internal/packet"
+
+// fifo is a fixed-capacity flit queue backing one virtual-channel input
+// buffer or the central Deadlock Buffer.
+type fifo struct {
+	items []packet.Flit
+	head  int
+	n     int
+}
+
+func newFIFO(capacity int) fifo {
+	return fifo{items: make([]packet.Flit, capacity)}
+}
+
+func (f *fifo) Len() int    { return f.n }
+func (f *fifo) Cap() int    { return len(f.items) }
+func (f *fifo) Space() int  { return len(f.items) - f.n }
+func (f *fifo) Empty() bool { return f.n == 0 }
+func (f *fifo) Full() bool  { return f.n == len(f.items) }
+
+func (f *fifo) Push(fl packet.Flit) {
+	if f.Full() {
+		panic("router: push to full fifo")
+	}
+	f.items[(f.head+f.n)%len(f.items)] = fl
+	f.n++
+}
+
+func (f *fifo) Peek() packet.Flit {
+	if f.Empty() {
+		panic("router: peek on empty fifo")
+	}
+	return f.items[f.head]
+}
+
+func (f *fifo) Pop() packet.Flit {
+	fl := f.Peek()
+	f.items[f.head] = packet.Flit{}
+	f.head = (f.head + 1) % len(f.items)
+	f.n--
+	return fl
+}

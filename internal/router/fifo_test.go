@@ -1,0 +1,105 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestFIFOBasics(t *testing.T) {
+	f := newFIFO(2)
+	if !f.Empty() || f.Full() || f.Len() != 0 || f.Cap() != 2 || f.Space() != 2 {
+		t.Fatal("fresh fifo state wrong")
+	}
+	p := packet.New(1, 0, 1, 3, 0)
+	f.Push(p.Flit(0))
+	f.Push(p.Flit(1))
+	if !f.Full() || f.Space() != 0 || f.Len() != 2 {
+		t.Fatal("full fifo state wrong")
+	}
+	if f.Peek().Seq != 0 {
+		t.Fatal("peek must see the oldest flit")
+	}
+	if f.Pop().Seq != 0 || f.Pop().Seq != 1 {
+		t.Fatal("pop order wrong")
+	}
+	if !f.Empty() {
+		t.Fatal("fifo should be empty")
+	}
+}
+
+func TestFIFOWrapAround(t *testing.T) {
+	f := newFIFO(2)
+	p := packet.New(1, 0, 1, 8, 0)
+	// Interleave pushes and pops so the ring indices wrap repeatedly.
+	seq := 0
+	for i := 0; i < 8; i++ {
+		f.Push(p.Flit(i))
+		got := f.Pop()
+		if got.Seq != seq {
+			t.Fatalf("wrap: got seq %d, want %d", got.Seq, seq)
+		}
+		seq++
+	}
+}
+
+func TestFIFOPanics(t *testing.T) {
+	f := newFIFO(1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("pop on empty did not panic")
+			}
+		}()
+		f.Pop()
+	}()
+	p := packet.New(1, 0, 1, 2, 0)
+	f.Push(p.Flit(0))
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("push on full did not panic")
+			}
+		}()
+		f.Push(p.Flit(1))
+	}()
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	var c Config
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	d := Default()
+	// DeadlockBufferDepth and Timeout legitimately stay zero (disabled);
+	// everything else fills in.
+	if c.VCs != d.VCs || c.BufferDepth != d.BufferDepth || c.InjectionVCs != d.InjectionVCs || c.ReceptionChannels != d.ReceptionChannels {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+}
+
+func TestConfigNormalizeErrors(t *testing.T) {
+	bad := []Config{
+		{VCs: -1},
+		{BufferDepth: -2},
+		{DeadlockBufferDepth: -1},
+		{InjectionVCs: -1},
+		{ReceptionChannels: -3},
+		{Timeout: -1},
+		{Alloc: AllocPolicy(9)},
+	}
+	for i, c := range bad {
+		if err := c.Normalize(); err == nil {
+			t.Errorf("config %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestAllocPolicyString(t *testing.T) {
+	if FlitByFlit.String() != "flit-by-flit" || PacketByPacket.String() != "packet-by-packet" {
+		t.Fatal("policy names wrong")
+	}
+	if AllocPolicy(7).String() == "" {
+		t.Fatal("unknown policy must still format")
+	}
+}

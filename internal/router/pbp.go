@@ -1,0 +1,215 @@
+package router
+
+// stageSwitchPBP implements packet-by-packet crossbar allocation (paper
+// Section 3.3): a crossbar connection is established when a packet wins an
+// output port and held until its tail passes; neither input nor output ports
+// are multiplexed among packets. Deadlock-recovery traffic — flits leaving
+// the central Deadlock Buffer, or flits of a freshly recovered packet still
+// in an edge buffer that must depart with the status line asserted — preempts
+// a held output; the displaced input is remembered in the output's
+// reconfiguration buffer and reconnected once the recovery packet has
+// cleared. Without preemption at both places the recovery lane itself could
+// wedge behind a blocked edge packet, exactly the hazard the paper's
+// reconfiguration buffer exists to avoid.
+//
+// The reception path is modeled separately from the crossbar (stageEjection
+// runs first in StageSwitch), matching routers whose delivery ports bypass
+// the switch.
+func (r *Router) stageSwitchPBP(res *Reservations, out []Transfer) []Transfer {
+	deg := r.topo.Degree()
+
+	// inputConn[p] reports whether input port p is already wired to some
+	// output (input ports are not multiplexed under this policy).
+	var inputConn [64]bool
+	for q := 0; q < deg; q++ {
+		if r.conn[q].inPort != connNone {
+			inputConn[r.conn[q].inPort] = true
+		}
+	}
+	var inputUsed [64]bool
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			if r.inputs[p][v].sent {
+				inputUsed[p] = true
+			}
+		}
+	}
+
+	total := 0
+	for p := range r.inputs {
+		total += len(r.inputs[p])
+	}
+
+	release := func(q int) {
+		c := &r.conn[q]
+		if c.inPort != connNone {
+			inputConn[c.inPort] = false
+		}
+		c.inPort, c.inVC = connNone, 0
+		c.db = false
+		r.restoreConn(q)
+		if c.inPort != connNone {
+			inputConn[c.inPort] = true
+		}
+	}
+	preempt := func(q int) {
+		c := &r.conn[q]
+		if c.inPort == connNone {
+			return
+		}
+		c.saved, c.savedPort, c.savedVC = true, c.inPort, c.inVC
+		inputConn[c.inPort] = false
+		c.inPort, c.inVC = connNone, 0
+		r.stats.Preemptions++
+	}
+
+	for q := 0; q < deg; q++ {
+		if r.neighbors[q] == nil {
+			continue
+		}
+		c := &r.conn[q]
+
+		dbUnitWants := len(r.dbs) > 0 && r.dbs[0].pkt != nil && r.dbs[0].route == q
+
+		// Release a finished DB-unit connection.
+		if c.db && !dbUnitWants {
+			release(q)
+		}
+
+		// The central Deadlock Buffer preempts any edge connection.
+		if dbUnitWants {
+			if !c.db {
+				preempt(q)
+				c.db = true
+			}
+			if !r.dbs[0].buf.Empty() && res.ReserveDB(r.neighbors[q], 0, r.dbs[0].pkt) {
+				out = append(out, Transfer{From: r, FromDB: true, To: r.neighbors[q], OutPort: q, ToDB: true})
+				continue
+			}
+			// The DB unit is stalled (downstream DB busy). Flits that the
+			// DB chain transitively waits on — an earlier recovered
+			// packet's edge flits, or their upstream wormhole path — may
+			// need this very port, so lend the idle slot (the paper's
+			// Assumption 1: internal flow control guarantees forward
+			// progress of buffers the recovery lane depends on).
+			out = r.arbitrateInput(q, total, res, &inputUsed, out)
+			continue
+		}
+
+		// A recovered packet in an edge buffer (status line asserted)
+		// preempts as well: its flits must reach the neighbor's DB.
+		if rp, rv, ok := r.recoveredInputFor(q); ok && !(c.inPort == rp && c.inVC == rv) {
+			preempt(q)
+			c.inPort, c.inVC = rp, rv
+			inputConn[rp] = true
+		}
+
+		// Drop stale connections (packet drained or redirected by recovery
+		// through a different port) and reconnect any suspended input.
+		if c.inPort != connNone {
+			ivc := &r.inputs[c.inPort][c.inVC]
+			if ivc.pkt == nil || ivc.route != q {
+				release(q)
+			}
+		}
+
+		// Establish a connection for a packet that routes to this output.
+		// Mid-packet establishment is allowed: it is how a connection
+		// dropped from the reconfiguration buffer heals.
+		if c.inPort == connNone {
+			off := r.swArbOffset[q]
+			for i := 0; i < total; i++ {
+				port, vc := r.nthInputVC((off + i) % total)
+				if inputConn[port] || inputUsed[port] {
+					continue
+				}
+				ivc := &r.inputs[port][vc]
+				if ivc.route != q || ivc.buf.Empty() {
+					continue
+				}
+				c.inPort, c.inVC = port, vc
+				inputConn[port] = true
+				r.swArbOffset[q] = (off + i + 1) % total
+				break
+			}
+		}
+		if c.inPort == connNone {
+			continue
+		}
+
+		// Send the connected packet's next flit. When the holder is stalled
+		// (empty buffer, no credits, downstream DB busy), lend the slot to
+		// any sendable traffic: a stalled connection must not starve flits
+		// the recovery lane transitively depends on (Assumption 1 again).
+		ivc := &r.inputs[c.inPort][c.inVC]
+		staged := false
+		if !ivc.buf.Empty() && !inputUsed[c.inPort] {
+			var tr Transfer
+			if ivc.outVC == VCDeadlockBuffer {
+				if res.ReserveDB(r.neighbors[q], ivc.dbLane, ivc.pkt) {
+					tr = Transfer{From: r, FromPort: c.inPort, FromVC: c.inVC, To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: ivc.dbLane}
+					staged = true
+				}
+			} else if r.outputs[q][ivc.outVC].credits > 0 {
+				tr = Transfer{From: r, FromPort: c.inPort, FromVC: c.inVC, To: r.neighbors[q], OutPort: q, ToVC: ivc.outVC}
+				staged = true
+			}
+			if staged {
+				fl := ivc.buf.Peek()
+				out = append(out, tr)
+				inputUsed[c.inPort] = true
+				ivc.sent = true
+				if fl.IsTail() {
+					// Tail passes: tear down and reconnect any suspended
+					// input from the reconfiguration buffer.
+					release(q)
+				}
+			}
+		}
+		if !staged {
+			out = r.arbitrateInput(q, total, res, &inputUsed, out)
+		}
+	}
+	return out
+}
+
+// recoveredInputFor returns an input VC holding flits of a recovered packet
+// that must leave through output q onto the neighbor's Deadlock Buffer.
+func (r *Router) recoveredInputFor(q int) (port, vc int, ok bool) {
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if ivc.pkt != nil && ivc.route == q && ivc.outVC == VCDeadlockBuffer && !ivc.buf.Empty() {
+				return p, v, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// restoreConn reloads output q's connection from its reconfiguration buffer
+// if the suspended input still routes to q (it cannot have advanced while
+// disconnected, but recovery may have redirected it to the DB lane).
+func (r *Router) restoreConn(q int) {
+	c := &r.conn[q]
+	if !c.saved {
+		return
+	}
+	c.saved = false
+	ivc := &r.inputs[c.savedPort][c.savedVC]
+	if ivc.pkt != nil && ivc.route == q {
+		c.inPort, c.inVC = c.savedPort, c.savedVC
+	}
+}
+
+// Connection reports packet-by-packet crossbar state for output q: the
+// connected input VC (or db), plus any suspended input held in the
+// reconfiguration buffer. Intended for tests and tracing.
+func (r *Router) Connection(q int) (inPort, inVC int, db bool, savedPort, savedVC int, saved bool) {
+	c := &r.conn[q]
+	savedPort, savedVC = c.savedPort, c.savedVC
+	if !c.saved {
+		savedPort, savedVC = connNone, 0
+	}
+	return c.inPort, c.inVC, c.db, savedPort, savedVC, c.saved
+}

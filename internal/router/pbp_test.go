@@ -1,0 +1,146 @@
+package router
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestPBPPreemptionAndReconfiguration exercises the paper's Section 3.3
+// packet-by-packet scenario directly: a Deadlock Buffer packet needs an
+// output held by an edge packet, preempts it into the reconfiguration
+// buffer, and the edge connection is restored once the DB packet clears.
+func TestPBPPreemptionAndReconfiguration(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	cfg := Default()
+	cfg.Alloc = PacketByPacket
+	b := newBench(t, topo, cfg, routing.Disha(0))
+	r := b.routers[topo.NodeAt(topology.Coord{1, 0})]
+	q := topology.PortFor(0, 1) // +X toward (2,0)
+
+	// Edge packet A mid-flight: owns input VC (0,0), routed to q on VC 0.
+	a := packet.New(1, topo.NodeAt(topology.Coord{0, 0}), topo.NodeAt(topology.Coord{3, 0}), 8, 0)
+	ivc := &r.inputs[0][0]
+	ivc.pkt = a
+	ivc.route = q
+	ivc.outVC = 0
+	ivc.buf.Push(a.Flit(2))
+	ivc.buf.Push(a.Flit(3))
+	r.outputs[q][0].owner = a
+
+	step := func() []Transfer {
+		b.res.Reset()
+		xfers := r.StageSwitch(b.res, nil)
+		for _, tr := range xfers {
+			Commit(tr, b)
+		}
+		r.TickTimers(nil)
+		return xfers
+	}
+
+	// Cycle 1: the edge packet establishes and uses the connection.
+	xfers := step()
+	in, _, db, _, _, saved := r.Connection(q)
+	if in != 0 || db || saved {
+		t.Fatalf("connection not established for edge packet: in=%d db=%v saved=%v", in, db, saved)
+	}
+	if len(xfers) != 1 {
+		t.Fatalf("expected 1 transfer, got %d", len(xfers))
+	}
+
+	// A recovered packet enters the Deadlock Buffer wanting the same output.
+	p := packet.New(2, topo.NodeAt(topology.Coord{0, 0}), topo.NodeAt(topology.Coord{2, 0}), 1, 0)
+	p.OnDB = true
+	r.dbs[0].pkt = p
+	r.dbs[0].route = q
+	r.dbs[0].buf.Push(p.Flit(0))
+
+	// Cycle 2: preemption — the DB connects, the edge connection is saved.
+	step()
+	in, _, db, sp, sv, saved := r.Connection(q)
+	if !db {
+		t.Fatal("DB did not take the output connection")
+	}
+	if !saved || sp != 0 || sv != 0 {
+		t.Fatalf("reconfiguration buffer wrong: saved=%v (%d,%d)", saved, sp, sv)
+	}
+	if in != connNone {
+		t.Fatal("edge connection must be disconnected during preemption")
+	}
+	if r.Stats().Preemptions != 1 {
+		t.Fatalf("preemptions = %d", r.Stats().Preemptions)
+	}
+	// The DB packet (single flit) left for the neighbor's DB.
+	nb := r.neighbors[q]
+	if nb.DBOccupancy() != 1 || nb.DBOwner() != p {
+		t.Fatal("DB flit did not reach the neighbor's Deadlock Buffer")
+	}
+	if r.dbs[0].pkt != nil {
+		t.Fatal("local DB must release after the tail leaves")
+	}
+
+	// Cycle 3: the DB is done with q — the suspended edge connection is
+	// reconnected from the reconfiguration buffer and resumes sending.
+	step()
+	in, vcIdx, db, _, _, saved := r.Connection(q)
+	if db || saved {
+		t.Fatal("DB connection not torn down")
+	}
+	if in != 0 || vcIdx != 0 {
+		t.Fatalf("edge connection not restored: in=(%d,%d)", in, vcIdx)
+	}
+}
+
+// TestPBPLendsStalledConnection verifies the Assumption-1 lending rule: a
+// connected packet with no credits must not idle the link while another
+// packet routed to the same output can send.
+func TestPBPLendsStalledConnection(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	cfg := Default()
+	cfg.Alloc = PacketByPacket
+	b := newBench(t, topo, cfg, routing.Disha(0))
+	r := b.routers[topo.NodeAt(topology.Coord{1, 0})]
+	q := topology.PortFor(0, 1)
+
+	// Connected packet A is stalled: zero credits on its output VC.
+	a := packet.New(1, 0, 9, 8, 0)
+	ivcA := &r.inputs[0][0]
+	ivcA.pkt = a
+	ivcA.route = q
+	ivcA.outVC = 0
+	ivcA.buf.Push(a.Flit(2))
+	r.outputs[q][0].owner = a
+	r.outputs[q][0].credits = 0
+
+	// Packet B on another input also routes to q, on VC 1 with credits.
+	bb := packet.New(2, 0, 9, 8, 0)
+	ivcB := &r.inputs[2][0]
+	ivcB.pkt = bb
+	ivcB.route = q
+	ivcB.outVC = 1
+	ivcB.buf.Push(bb.Flit(2))
+	ivcB.buf.Push(bb.Flit(3))
+	r.outputs[q][1].owner = bb
+
+	// First stage: A establishes the connection (or B does — either way a
+	// flit must flow every cycle while somebody can send).
+	for i := 0; i < 2; i++ {
+		b.res.Reset()
+		xfers := r.StageSwitch(b.res, nil)
+		sentB := false
+		for _, tr := range xfers {
+			if tr.To != nil && tr.OutPort == q && tr.FromPort == 2 {
+				sentB = true
+			}
+		}
+		for _, tr := range xfers {
+			Commit(tr, b)
+		}
+		r.TickTimers(nil)
+		if i == 1 && !sentB {
+			t.Fatal("stalled connection did not lend the link to packet B")
+		}
+	}
+}

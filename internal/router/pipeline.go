@@ -1,0 +1,647 @@
+package router
+
+import (
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Transfer is one staged flit movement for the current cycle. All transfers
+// are staged against start-of-cycle state by StageSwitch and applied together
+// by Commit, which keeps the simulation order-independent across routers.
+type Transfer struct {
+	From       *Router
+	FromPort   int // source input port; ignored when FromDB
+	FromVC     int
+	FromDB     bool // source is a Deadlock Buffer lane
+	FromDBLane int
+
+	To       *Router // nil for ejection
+	OutPort  int     // sender's output port (To != nil)
+	ToVC     int     // receiving VC index (== sender's output VC); ignored when ToDB
+	ToDB     bool    // flit enters the receiver's Deadlock Buffer (status line asserted)
+	ToDBLane int
+	Eject    bool // flit is consumed by From's reception channel
+}
+
+// dbKey identifies one Deadlock Buffer lane for per-cycle reservations.
+type dbKey struct {
+	r    *Router
+	lane int
+}
+
+// Reservations tracks per-cycle Deadlock Buffer admissions. Each DB is a
+// central queue with a single write port (as in the Chaos router the paper
+// cites), so at most one flit per cycle may enter it, and only for the
+// packet currently threading it.
+type Reservations struct {
+	m map[dbKey]int
+}
+
+// NewReservations returns an empty per-cycle reservation table.
+func NewReservations() *Reservations {
+	return &Reservations{m: make(map[dbKey]int)}
+}
+
+// Reset clears the table for the next cycle.
+func (res *Reservations) Reset() {
+	for k := range res.m {
+		delete(res.m, k)
+	}
+}
+
+// ReserveDB attempts to admit one flit of p into lane of target's Deadlock
+// Buffer this cycle.
+func (res *Reservations) ReserveDB(target *Router, lane int, p *packet.Packet) bool {
+	if target == nil || lane >= len(target.dbs) {
+		return false
+	}
+	db := &target.dbs[lane]
+	if db.pkt != nil && db.pkt != p {
+		return false
+	}
+	k := dbKey{target, lane}
+	if res.m[k] >= 1 { // single write port
+		return false
+	}
+	if db.buf.Space()-res.m[k] < 1 {
+		return false
+	}
+	res.m[k]++
+	return true
+}
+
+// --- Routing / virtual channel allocation ------------------------------------
+
+// StageRouting performs routing computation and output VC allocation for
+// every input VC whose head flit is an unrouted header. Grants take effect
+// immediately in router-local state (output VC ownership), so later headers
+// in the same cycle see them; the rotating start offset keeps this fair.
+func (r *Router) StageRouting() {
+	total := 0
+	for p := range r.inputs {
+		total += len(r.inputs[p])
+	}
+	off := r.vcArbOffset
+	r.vcArbOffset = (r.vcArbOffset + 1) % max(total, 1)
+	for i := 0; i < total; i++ {
+		port, vc := r.nthInputVC((off + i) % total)
+		r.routeInputVC(port, vc)
+	}
+}
+
+// nthInputVC maps a flat index to an (port, vc) pair.
+func (r *Router) nthInputVC(i int) (port, vc int) {
+	for p := range r.inputs {
+		if i < len(r.inputs[p]) {
+			return p, i
+		}
+		i -= len(r.inputs[p])
+	}
+	panic("router: input VC index out of range")
+}
+
+func (r *Router) routeInputVC(port, vc int) {
+	ivc := &r.inputs[port][vc]
+	if ivc.buf.Empty() || ivc.route != PortUnrouted {
+		return
+	}
+	head := ivc.buf.Peek()
+	if !head.IsHeader() {
+		return
+	}
+	p := head.Pkt
+	if p.Dst == r.node {
+		ivc.route = PortEject
+		return
+	}
+	if p.OnDB {
+		// A recovered packet re-routes onto the DB lane; this occurs only if
+		// the recovery grant was made before the header advanced (normally
+		// Recover sets the route directly).
+		ivc.dbLane = r.recoveryLane(p.Dst)
+		ivc.route = r.dbLaneRoute(ivc.dbLane, p.Dst)
+		ivc.outVC = VCDeadlockBuffer
+		return
+	}
+
+	cands := r.alg.Route(r, p, r.candBuf[:0])
+	r.candBuf = cands[:0]
+	// Keep only candidates whose link exists and whose output VC is free,
+	// then restrict to the best (lowest) preference class present.
+	usable := cands[:0]
+	bestClass := int(^uint(0) >> 1)
+	for _, c := range cands {
+		if !r.LinkExists(c.Port) || !r.OutputVCFree(c.Port, c.VC) {
+			continue
+		}
+		if c.Class < bestClass {
+			bestClass = c.Class
+			usable = usable[:0]
+		}
+		if c.Class == bestClass {
+			usable = append(usable, c)
+		}
+	}
+	if len(usable) == 0 {
+		return // blocked; retried next cycle
+	}
+	choice := usable[0]
+	if len(usable) > 1 {
+		choice = r.sel.Pick(r, usable, r.rng)
+	}
+	r.outputs[choice.Port][choice.VC].owner = p
+	ivc.route = choice.Port
+	ivc.outVC = choice.VC
+	if choice.ToDeterministic {
+		p.OnDeterministic = true
+	}
+}
+
+// --- Switch allocation ----------------------------------------------------------
+
+// StageSwitch arbitrates the crossbar and reception channels for this cycle
+// and appends the staged flit movements to out. Decisions use
+// start-of-cycle buffer/credit state; Commit applies them afterwards.
+func (r *Router) StageSwitch(res *Reservations, out []Transfer) []Transfer {
+	out = r.stageEjection(out)
+	if r.cfg.Alloc == PacketByPacket {
+		return r.stageSwitchPBP(res, out)
+	}
+	return r.stageSwitchFBF(res, out)
+}
+
+// stageEjection grants the reception channel(s): the Deadlock Buffers first
+// (the recovery lane must always drain), then input VCs round-robin.
+func (r *Router) stageEjection(out []Transfer) []Transfer {
+	budget := r.cfg.ReceptionChannels
+	if budget == 0 {
+		return out
+	}
+	for lane := range r.dbs {
+		if budget == 0 {
+			break
+		}
+		if !r.dbs[lane].buf.Empty() && r.dbs[lane].route == PortEject {
+			out = append(out, Transfer{From: r, FromDB: true, FromDBLane: lane, Eject: true})
+			budget--
+		}
+	}
+	deg := r.topo.Degree()
+	total := 0
+	for p := range r.inputs {
+		total += len(r.inputs[p])
+	}
+	off := r.swArbOffset[deg]
+	granted := false
+	for i := 0; i < total && budget > 0; i++ {
+		port, vc := r.nthInputVC((off + i) % total)
+		ivc := &r.inputs[port][vc]
+		if ivc.route != PortEject || ivc.buf.Empty() || ivc.sent {
+			continue
+		}
+		out = append(out, Transfer{From: r, FromPort: port, FromVC: vc, Eject: true})
+		ivc.sent = true
+		budget--
+		if !granted {
+			r.swArbOffset[deg] = (off + i + 1) % total
+			granted = true
+		}
+	}
+	return out
+}
+
+// stageSwitchFBF implements flit-by-flit crossbar allocation: a greedy
+// matching of input ports to output ports, one flit per port per cycle,
+// with the Deadlock Buffer as an extra crossbar input that has priority on
+// its output (so the recovery lane always progresses).
+func (r *Router) stageSwitchFBF(res *Reservations, out []Transfer) []Transfer {
+	deg := r.topo.Degree()
+	var inputUsed [64]bool // deg+1 <= 64 always (n <= 31 dims)
+	// Ejection grants above already consumed their input ports this cycle.
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			if r.inputs[p][v].sent {
+				inputUsed[p] = true
+			}
+		}
+	}
+	total := 0
+	for p := range r.inputs {
+		total += len(r.inputs[p])
+	}
+	for q := 0; q < deg; q++ {
+		if r.neighbors[q] == nil {
+			continue
+		}
+		// Deadlock Buffer priority: each lane continues on the same lane
+		// index at the next router.
+		sent := false
+		for lane := range r.dbs {
+			db := &r.dbs[lane]
+			if !db.buf.Empty() && db.route == q && res.ReserveDB(r.neighbors[q], lane, db.pkt) {
+				out = append(out, Transfer{From: r, FromDB: true, FromDBLane: lane,
+					To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: lane})
+				sent = true
+				break
+			}
+		}
+		if sent {
+			continue
+		}
+		out = r.arbitrateInput(q, total, res, &inputUsed, out)
+	}
+	return out
+}
+
+// arbitrateInput grants output port q to one sendable input VC this cycle,
+// round-robin starting from the port's rotating offset. It is the per-flit
+// output arbitration of the flit-by-flit policy and the lending fallback of
+// the packet-by-packet policy.
+func (r *Router) arbitrateInput(q, total int, res *Reservations, inputUsed *[64]bool, out []Transfer) []Transfer {
+	off := r.swArbOffset[q]
+	for i := 0; i < total; i++ {
+		port, vc := r.nthInputVC((off + i) % total)
+		if inputUsed[port] {
+			continue
+		}
+		ivc := &r.inputs[port][vc]
+		if ivc.route != q || ivc.buf.Empty() {
+			continue
+		}
+		if ivc.outVC == VCDeadlockBuffer {
+			if !res.ReserveDB(r.neighbors[q], ivc.dbLane, ivc.pkt) {
+				continue
+			}
+			out = append(out, Transfer{From: r, FromPort: port, FromVC: vc,
+				To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: ivc.dbLane})
+		} else {
+			if r.outputs[q][ivc.outVC].credits <= 0 {
+				continue
+			}
+			out = append(out, Transfer{From: r, FromPort: port, FromVC: vc, To: r.neighbors[q], OutPort: q, ToVC: ivc.outVC})
+		}
+		inputUsed[port] = true
+		ivc.sent = true
+		r.swArbOffset[q] = (off + i + 1) % total
+		break
+	}
+	return out
+}
+
+// --- Commit -----------------------------------------------------------------------
+
+// Sink consumes flits ejected into a node's reception channel. The network
+// implements it to record delivery, statistics and Token release.
+type Sink interface {
+	Deliver(fl packet.Flit, at topology.Node)
+}
+
+// Commit applies a staged transfer; ejected flits are passed to sink.
+func Commit(t Transfer, sink Sink) {
+	fl := t.popSource()
+	switch {
+	case t.Eject:
+		t.From.stats.FlitsEjected++
+		sink.Deliver(fl, t.From.node)
+	case t.ToDB:
+		to := t.To
+		db := &to.dbs[t.ToDBLane]
+		db.buf.Push(fl)
+		if fl.IsHeader() {
+			db.pkt = fl.Pkt
+			db.route = to.dbLaneRoute(t.ToDBLane, fl.Pkt.Dst)
+			fl.Pkt.Hops++
+		}
+		t.From.stats.FlitsSwitched++
+	default:
+		to := t.To
+		inPort := topology.ReversePort(t.OutPort)
+		tivc := &to.inputs[inPort][t.ToVC]
+		tivc.buf.Push(fl)
+		if fl.IsHeader() {
+			tivc.pkt = fl.Pkt
+		}
+		o := &t.From.outputs[t.OutPort][t.ToVC]
+		o.credits--
+		if fl.IsTail() {
+			o.owner = nil
+		}
+		t.From.stats.FlitsSwitched++
+		if fl.IsHeader() {
+			t.From.applyHeaderHop(fl.Pkt, t.OutPort)
+		}
+	}
+}
+
+// popSource removes the flit from its source buffer, returning credits to
+// the upstream output VC and releasing wormhole state on tails.
+func (t Transfer) popSource() packet.Flit {
+	r := t.From
+	if t.FromDB {
+		db := &r.dbs[t.FromDBLane]
+		fl := db.buf.Pop()
+		r.stats.DBFlitsCarried++
+		if fl.IsTail() {
+			db.pkt = nil
+			db.route = PortUnrouted
+		}
+		return fl
+	}
+	ivc := &r.inputs[t.FromPort][t.FromVC]
+	fl := ivc.buf.Pop()
+	if t.FromPort < r.topo.Degree() && r.neighbors[t.FromPort] != nil {
+		up := r.neighbors[t.FromPort]
+		up.outputs[topology.ReversePort(t.FromPort)][t.FromVC].credits++
+	}
+	if fl.IsTail() {
+		ivc.pkt = nil
+		ivc.route = PortUnrouted
+		ivc.outVC = VCUnrouted
+		ivc.waiting = 0
+		ivc.presumed = false
+	}
+	return fl
+}
+
+// applyHeaderHop updates per-packet routing state when a header crosses a
+// normal (edge-buffer) link out of r.
+func (r *Router) applyHeaderHop(p *packet.Packet, outPort int) {
+	p.Hops++
+	d := topology.PortDim(outPort)
+	if p.LastDim >= 0 && d < p.LastDim {
+		p.DimReversals++
+	}
+	p.LastDim = d
+	if r.topo.CrossesDateline(r.node, outPort) {
+		p.DatelineCrossed |= 1 << uint(d)
+	}
+	nb := r.neighbors[outPort]
+	if r.topo.Distance(nb.node, p.Dst) >= r.topo.Distance(r.node, p.Dst) {
+		p.Misroutes++
+		r.stats.MisrouteHops++
+	}
+}
+
+// --- Deadlock detection & recovery ---------------------------------------------
+
+// TickTimers advances T_elapsed for blocked headers (paper Section 3.1) and
+// clears the per-cycle sent markers. It returns the number of headers that
+// newly crossed T_out this cycle; onTimeout, if non-nil, receives each
+// newly presumed packet (tracing).
+func (r *Router) TickTimers(onTimeout func(*packet.Packet)) int {
+	newly := 0
+	deg := r.topo.Degree()
+	tout := r.cfg.Timeout
+	if r.cfg.AdaptiveTimeout {
+		tout = r.effTout
+		// Slow decay back toward the configured base.
+		r.decayCount++
+		if r.decayCount >= 256 {
+			r.decayCount = 0
+			if r.effTout > r.cfg.Timeout {
+				r.effTout--
+			}
+		}
+	}
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if ivc.sent {
+				if ivc.presumed {
+					// The presumed-deadlocked header moved normally: a
+					// false detection. Under AdaptiveTimeout, back off.
+					r.stats.FalseDetections++
+					if r.cfg.AdaptiveTimeout {
+						r.effTout *= 2
+						if max8 := 8 * r.cfg.Timeout; r.effTout > max8 {
+							r.effTout = max8
+						}
+					}
+				}
+				ivc.sent = false
+				ivc.waiting = 0
+				ivc.presumed = false
+				continue
+			}
+			if ivc.buf.Empty() {
+				ivc.waiting = 0
+				ivc.presumed = false
+				continue
+			}
+			head := ivc.buf.Peek()
+			// Only headers not draining to the local reception channel and
+			// not already recovering are candidates for presumption.
+			if !head.IsHeader() || ivc.route == PortEject || head.Pkt.OnDB {
+				ivc.waiting = 0
+				ivc.presumed = false
+				continue
+			}
+			ivc.waiting++
+			if tout > 0 && ivc.waiting > tout && !ivc.presumed {
+				// Headers still at the injection port hold no network
+				// channels, so they cannot be deadlock members; they are
+				// presumed only when STRANDED by link faults (the routing
+				// function offers no live port at all), in which case only
+				// the recovery lane can ever deliver them. The stranded
+				// check is throttled: faults are rare events.
+				if p == deg {
+					if (ivc.waiting-tout)%16 != 1 || !r.strandedHeader(head.Pkt) {
+						continue
+					}
+				}
+				ivc.presumed = true
+				head.Pkt.TimedOut = true
+				r.stats.TimeoutEvents++
+				newly++
+				if onTimeout != nil {
+					onTimeout(head.Pkt)
+				}
+			}
+		}
+	}
+	return newly
+}
+
+// strandedHeader reports whether the packet's routing function offers no
+// live output port at this router — only possible with failed links; such
+// a packet can never advance on edge channels and must be recovered.
+func (r *Router) strandedHeader(p *packet.Packet) bool {
+	cands := r.alg.Route(r, p, r.candBuf[:0])
+	r.candBuf = cands[:0]
+	for _, c := range cands {
+		if r.LinkExists(c.Port) {
+			return false
+		}
+	}
+	return true
+}
+
+// MostStarved returns the presumed-deadlocked input VC whose header has
+// waited longest; ok is false when the router has none. The circulating
+// Token queries this to decide whether to stop here. Injection-port VCs
+// are included: they are presumed only when stranded by faults.
+func (r *Router) MostStarved() (port, vc int, ok bool) {
+	var best sim.Cycle = -1
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if ivc.presumed && ivc.waiting > best {
+				best = ivc.waiting
+				port, vc, ok = p, v, true
+			}
+		}
+	}
+	return port, vc, ok
+}
+
+// Recover switches the packet whose header waits in input VC (port, vc)
+// onto the Deadlock Buffer lane: it releases any edge output VC the header
+// held, marks the packet recovered (it may use only Deadlock Buffers from
+// here to its destination — paper Assumption 3) and aims it at the next DB
+// hop: minimal dimension-order under sequential recovery, the monotone
+// Hamiltonian step of the packet's lane under concurrent recovery. It
+// returns the recovered packet.
+func (r *Router) Recover(port, vc int, now sim.Cycle) *packet.Packet {
+	ivc := &r.inputs[port][vc]
+	p := ivc.pkt
+	if p == nil || ivc.buf.Empty() || !ivc.buf.Peek().IsHeader() {
+		panic("router: Recover on a VC without a blocked header")
+	}
+	if ivc.route >= 0 && ivc.outVC >= 0 {
+		r.outputs[ivc.route][ivc.outVC].owner = nil
+	}
+	p.OnDB = true
+	p.SeizedToken = r.cfg.Recovery == RecoverySequential
+	p.RecoveredAt = now
+	ivc.dbLane = r.recoveryLane(p.Dst)
+	ivc.route = r.dbLaneRoute(ivc.dbLane, p.Dst)
+	ivc.outVC = VCDeadlockBuffer
+	ivc.waiting = 0
+	ivc.presumed = false
+	r.stats.Recoveries++
+	return p
+}
+
+// RecoverPresumed (concurrent recovery) switches every presumed-deadlocked
+// packet at this router onto its Deadlock Buffer lane — no Token, no mutual
+// exclusion. It returns the number of packets recovered.
+func (r *Router) RecoverPresumed(now sim.Cycle) int {
+	n := 0
+	deg := r.topo.Degree()
+	for p := 0; p < deg; p++ {
+		for v := range r.inputs[p] {
+			if r.inputs[p][v].presumed {
+				r.Recover(p, v, now)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// recoveryLane picks the Deadlock Buffer lane for a recovery starting here:
+// lane 0 under sequential recovery; under concurrent recovery the up lane
+// when the destination's Hamiltonian label is larger, else the down lane.
+func (r *Router) recoveryLane(dst topology.Node) int {
+	if r.cfg.Recovery != RecoveryConcurrent {
+		return 0
+	}
+	if r.hamLabels == nil {
+		panic("router: concurrent recovery without ConnectHamiltonian")
+	}
+	if r.hamLabels[dst] > r.hamLabel {
+		return laneUp
+	}
+	return laneDown
+}
+
+// dbLaneRoute returns the Deadlock Buffer lane's output at this router for
+// a packet to dst: ejection at the destination, minimal dimension-order for
+// the sequential lane, the monotone Hamiltonian-path step for concurrent
+// lanes (which keeps each lane's buffer dependency chain linear and hence
+// acyclic).
+func (r *Router) dbLaneRoute(lane int, dst topology.Node) int {
+	if r.node == dst {
+		return PortEject
+	}
+	if r.cfg.Recovery == RecoveryConcurrent {
+		if lane == laneUp {
+			return r.hamNextPort
+		}
+		return r.hamPrevPort
+	}
+	if r.dbTable != nil {
+		return int(r.dbTable[int(dst)*r.topo.Nodes()+int(r.node)])
+	}
+	port, ok := routing.DORPort(r.topo, r.node, dst)
+	if !ok {
+		return PortEject
+	}
+	return port
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PresumedPackets appends the distinct packets currently presumed
+// deadlocked at this router (abort-retry recovery collects its victims
+// through it).
+func (r *Router) PresumedPackets(out []*packet.Packet) []*packet.Packet {
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if ivc.presumed && ivc.pkt != nil {
+				out = append(out, ivc.pkt)
+			}
+		}
+	}
+	return out
+}
+
+// PurgePacket removes every flit of p from this router and releases all
+// channel state p holds here: input VC ownership (returning the purged
+// flits' credits upstream), granted and in-use output VCs, and — indirectly,
+// through the stale-connection checks — packet-by-packet crossbar
+// connections. It returns the number of flits purged. Abort-and-retry
+// recovery calls it on every router to kill a packet.
+func (r *Router) PurgePacket(p *packet.Packet) int {
+	purged := 0
+	deg := r.topo.Degree()
+	for port := range r.inputs {
+		for v := range r.inputs[port] {
+			ivc := &r.inputs[port][v]
+			if ivc.pkt != p {
+				continue
+			}
+			n := ivc.buf.Len()
+			for i := 0; i < n; i++ {
+				ivc.buf.Pop()
+			}
+			purged += n
+			if n > 0 && port < deg && r.neighbors[port] != nil {
+				up := r.neighbors[port]
+				up.outputs[topology.ReversePort(port)][v].credits += n
+			}
+			ivc.pkt = nil
+			ivc.route = PortUnrouted
+			ivc.outVC = VCUnrouted
+			ivc.waiting = 0
+			ivc.presumed = false
+			ivc.sent = false
+		}
+	}
+	for q := 0; q < deg; q++ {
+		for v := range r.outputs[q] {
+			if r.outputs[q][v].owner == p {
+				r.outputs[q][v].owner = nil
+			}
+		}
+	}
+	return purged
+}

@@ -1,0 +1,429 @@
+// Package router implements the wormhole router microarchitecture of the
+// DISHA paper: per-virtual-channel input buffers with credit-based flow
+// control, routing and virtual-channel allocation driven by a pluggable
+// routing algorithm and selection function, flit-by-flit or packet-by-packet
+// crossbar allocation, the time-out deadlock detector (T_elapsed/T_out), and
+// the central Deadlock Buffer with its deadlock-free recovery lane.
+//
+// Routers are passive: internal/network drives the per-cycle pipeline
+// (injection, routing/VC allocation, switch allocation, transfer commit,
+// timer update) and owns the recovery Token. All router methods assume
+// single-threaded access in a fixed order, which makes simulations
+// deterministic for a given seed.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Route sentinels stored in inputVC.route.
+const (
+	// PortUnrouted marks an input VC whose head header has not yet been
+	// assigned an output.
+	PortUnrouted = -1
+	// PortEject routes the packet into the local reception channel.
+	PortEject = -2
+)
+
+// Output VC sentinels stored in inputVC.outVC.
+const (
+	// VCUnrouted marks no output VC granted.
+	VCUnrouted = -1
+	// VCDeadlockBuffer marks a recovered packet whose flits leave with the
+	// status line asserted: the next router places them in its Deadlock
+	// Buffer, bypassing the edge buffers.
+	VCDeadlockBuffer = -2
+)
+
+// inputVC is the state of one virtual-channel input buffer. A wormhole
+// packet owns the VC from its header's arrival until its tail departs.
+type inputVC struct {
+	buf    fifo
+	pkt    *packet.Packet // owner; nil when idle
+	route  int            // granted output port, PortEject, or PortUnrouted
+	outVC  int            // granted output VC, VCDeadlockBuffer, or VCUnrouted
+	dbLane int            // recovery lane index when outVC == VCDeadlockBuffer
+
+	// waiting is T_elapsed: consecutive cycles the header at the head of
+	// this buffer has been unable to leave.
+	waiting  sim.Cycle
+	presumed bool // T_elapsed exceeded T_out (presumed deadlocked)
+	sent     bool // a flit left this cycle (cleared by TickTimers)
+}
+
+// outputVC is the sender-side state of one downstream virtual channel.
+type outputVC struct {
+	owner   *packet.Packet // packet holding the VC; nil when released
+	credits int            // free flit slots in the downstream input buffer
+}
+
+// dbUnit is a central Deadlock Buffer: a single flit buffer reachable from
+// every neighbor, forming the deadlock-free lane during recovery. Sequential
+// recovery uses one unit per router; concurrent recovery uses two
+// direction-partitioned units (the "up" and "down" Hamiltonian lanes).
+type dbUnit struct {
+	buf   fifo
+	pkt   *packet.Packet // packet currently threading this DB
+	route int            // output decided when the header arrived
+}
+
+// Deadlock Buffer lane indices for concurrent recovery.
+const (
+	laneUp   = 0 // toward increasing Hamiltonian labels
+	laneDown = 1 // toward decreasing Hamiltonian labels
+)
+
+// xbarConn tracks packet-by-packet crossbar state for one output port.
+type xbarConn struct {
+	inPort, inVC int  // connected input VC; inPort == connNone when free
+	db           bool // connected to the Deadlock Buffer
+	// reconfiguration buffer: the single input connection displaced by a
+	// Deadlock Buffer preemption (paper Section 3.3).
+	saved     bool
+	savedPort int
+	savedVC   int
+}
+
+const connNone = -1
+
+// Stats are per-router event counters.
+type Stats struct {
+	TimeoutEvents   int64 // headers whose T_elapsed first exceeded T_out
+	FalseDetections int64 // presumed headers that later moved without recovery
+	Recoveries      int64 // packets switched onto the Deadlock Buffer lane here
+	MisrouteHops    int64 // non-profitable hops taken out of this router
+	FlitsSwitched   int64 // flits sent on network output ports
+	FlitsEjected    int64 // flits consumed by the local reception channel(s)
+	DBFlitsCarried  int64 // flits that transited this router's Deadlock Buffer
+	Preemptions     int64 // packet-by-packet crossbar preemptions by the DB
+}
+
+// Router is one network node's switch.
+type Router struct {
+	node topology.Node
+	topo topology.Topology
+	cfg  Config
+	alg  routing.Algorithm
+	sel  routing.Selection
+	rng  *sim.RNG
+
+	// inputs[p][v]: p in [0, degree) are network ports, p == degree is the
+	// injection port (with cfg.InjectionVCs VCs).
+	inputs  [][]inputVC
+	outputs [][]outputVC // network ports only
+	dbs     []dbUnit     // 0 (recovery off), 1 (sequential) or 2 (concurrent)
+
+	neighbors []*Router // per network port; nil where no link exists
+
+	// Hamiltonian-path wiring for concurrent recovery: the shared
+	// node-to-label table, this router's label, and the ports toward its
+	// successor/predecessor on the path (-1 at the path's ends). Set by
+	// ConnectHamiltonian.
+	hamLabels   []int
+	hamLabel    int
+	hamNextPort int
+	hamPrevPort int
+
+	// dbTable, when set, overrides dimension-order Deadlock Buffer routing
+	// with a fault-aware next-hop table (see SetDBRouteTable).
+	dbTable []int32
+
+	// Adaptive time-out state (Config.AdaptiveTimeout).
+	effTout    sim.Cycle
+	decayCount int
+
+	conn []xbarConn // packet-by-packet state, one per network output port
+
+	vcArbOffset int   // rotating priority for VC allocation
+	swArbOffset []int // rotating priority per output port (+1 for ejection)
+
+	candBuf []routing.Candidate
+	stats   Stats
+}
+
+// New constructs a router for node. The caller wires neighbors with Connect
+// before the first cycle. cfg must already be normalized.
+func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG) *Router {
+	deg := topo.Degree()
+	r := &Router{
+		node:        node,
+		topo:        topo,
+		cfg:         cfg,
+		alg:         alg,
+		sel:         sel,
+		rng:         rng,
+		inputs:      make([][]inputVC, deg+1),
+		outputs:     make([][]outputVC, deg),
+		neighbors:   make([]*Router, deg),
+		conn:        make([]xbarConn, deg),
+		swArbOffset: make([]int, deg+1),
+		candBuf:     make([]routing.Candidate, 0, 4*deg*cfg.VCs),
+	}
+	for p := 0; p < deg; p++ {
+		r.inputs[p] = make([]inputVC, cfg.VCs)
+		r.outputs[p] = make([]outputVC, cfg.VCs)
+		for v := 0; v < cfg.VCs; v++ {
+			r.inputs[p][v] = inputVC{buf: newFIFO(cfg.BufferDepth), route: PortUnrouted, outVC: VCUnrouted}
+			r.outputs[p][v] = outputVC{credits: cfg.BufferDepth}
+		}
+		r.conn[p] = xbarConn{inPort: connNone}
+	}
+	r.inputs[deg] = make([]inputVC, cfg.InjectionVCs)
+	for v := range r.inputs[deg] {
+		r.inputs[deg][v] = inputVC{buf: newFIFO(cfg.BufferDepth), route: PortUnrouted, outVC: VCUnrouted}
+	}
+	if cfg.DeadlockBufferDepth > 0 {
+		lanes := 1
+		if cfg.Recovery == RecoveryConcurrent {
+			lanes = 2
+		}
+		for i := 0; i < lanes; i++ {
+			r.dbs = append(r.dbs, dbUnit{buf: newFIFO(cfg.DeadlockBufferDepth), route: PortUnrouted})
+		}
+	}
+	r.hamNextPort, r.hamPrevPort = -1, -1
+	r.effTout = cfg.Timeout
+	return r
+}
+
+// EffectiveTimeout returns the router's current deadlock time-out: the
+// configured T_out, or the self-tuned value under AdaptiveTimeout.
+func (r *Router) EffectiveTimeout() sim.Cycle { return r.effTout }
+
+// ConnectHamiltonian wires the router into the recovery Hamiltonian path:
+// the shared node-to-label table and the output ports toward the path's
+// successor and predecessor (pass -1 at the ends). Required for concurrent
+// recovery; the network calls it for every router.
+func (r *Router) ConnectHamiltonian(labels []int, nextPort, prevPort int) {
+	r.hamLabels = labels
+	r.hamLabel = labels[r.node]
+	r.hamNextPort = nextPort
+	r.hamPrevPort = prevPort
+}
+
+// Connect wires the neighbor reached through the given output port. The
+// network calls it for both directions of every link.
+func (r *Router) Connect(port int, neighbor *Router) {
+	r.neighbors[port] = neighbor
+}
+
+// Neighbor returns the router wired to the given output port (nil where no
+// link exists). Analysis tools use it to follow wait-for relations across
+// links.
+func (r *Router) Neighbor(port int) *Router { return r.neighbors[port] }
+
+// InjectionPort returns the input port index of the injection channel.
+func (r *Router) InjectionPort() int { return r.topo.Degree() }
+
+// Algorithm returns the routing algorithm this router runs; analysis tools
+// use it to recompute a blocked header's candidate set.
+func (r *Router) Algorithm() routing.Algorithm { return r.alg }
+
+// NodeID returns the router's node.
+func (r *Router) NodeID() topology.Node { return r.node }
+
+// Stats returns a copy of the router's event counters.
+func (r *Router) Stats() Stats { return r.stats }
+
+// --- routing.View -----------------------------------------------------------
+
+// Node implements routing.View.
+func (r *Router) Node() topology.Node { return r.node }
+
+// Topo implements routing.View.
+func (r *Router) Topo() topology.Topology { return r.topo }
+
+// VCs implements routing.View.
+func (r *Router) VCs() int { return r.cfg.VCs }
+
+// LinkExists implements routing.View.
+func (r *Router) LinkExists(port int) bool {
+	return port >= 0 && port < len(r.neighbors) && r.neighbors[port] != nil
+}
+
+// OutputVCFree implements routing.View: a VC is allocatable only when no
+// packet owns it and the downstream buffer has fully drained (atomic VC
+// reallocation, so packets never interleave inside one edge buffer).
+func (r *Router) OutputVCFree(port, vc int) bool {
+	o := &r.outputs[port][vc]
+	return o.owner == nil && o.credits == r.cfg.BufferDepth
+}
+
+// OccupantDimReversals implements routing.View.
+func (r *Router) OccupantDimReversals(port, vc int) (int, bool) {
+	o := &r.outputs[port][vc]
+	if o.owner == nil {
+		return 0, false
+	}
+	return o.owner.DimReversals, true
+}
+
+// FreeVCs implements routing.View.
+func (r *Router) FreeVCs(port int) int {
+	n := 0
+	for vc := range r.outputs[port] {
+		if r.OutputVCFree(port, vc) {
+			n++
+		}
+	}
+	return n
+}
+
+var _ routing.View = (*Router)(nil)
+
+// --- Injection interface (used by the network's NI model) -------------------
+
+// InjectFlit offers the next flit of a packet to the injection input. It
+// returns false if the injection channel cannot accept it this cycle: the
+// flit's packet must already own an injection VC with buffer space, or — for
+// a header — some injection VC must be idle.
+func (r *Router) InjectFlit(fl packet.Flit, now sim.Cycle) bool {
+	port := r.InjectionPort()
+	if fl.IsHeader() {
+		for v := range r.inputs[port] {
+			ivc := &r.inputs[port][v]
+			if ivc.pkt == nil && ivc.buf.Empty() {
+				ivc.pkt = fl.Pkt
+				ivc.buf.Push(fl)
+				fl.Pkt.InjectedAt = now
+				return true
+			}
+		}
+		return false
+	}
+	for v := range r.inputs[port] {
+		ivc := &r.inputs[port][v]
+		if ivc.pkt == fl.Pkt && !ivc.buf.Full() {
+			ivc.buf.Push(fl)
+			return true
+		}
+	}
+	return false
+}
+
+// --- Introspection helpers (tests, wait-for-graph analysis) ------------------
+
+// InputOwner returns the packet owning input VC (port, vc), if any.
+func (r *Router) InputOwner(port, vc int) *packet.Packet { return r.inputs[port][vc].pkt }
+
+// InputRoute returns the granted (route, outVC) of input VC (port, vc).
+func (r *Router) InputRoute(port, vc int) (route, outVC int) {
+	ivc := &r.inputs[port][vc]
+	return ivc.route, ivc.outVC
+}
+
+// InputOccupancy returns the number of buffered flits in input VC (port, vc).
+func (r *Router) InputOccupancy(port, vc int) int { return r.inputs[port][vc].buf.Len() }
+
+// InputHead returns the head flit of input VC (port, vc); ok is false when
+// the buffer is empty.
+func (r *Router) InputHead(port, vc int) (packet.Flit, bool) {
+	if r.inputs[port][vc].buf.Empty() {
+		return packet.Flit{}, false
+	}
+	return r.inputs[port][vc].buf.Peek(), true
+}
+
+// OutputOwner returns the packet holding output VC (port, vc), if any.
+func (r *Router) OutputOwner(port, vc int) *packet.Packet { return r.outputs[port][vc].owner }
+
+// Credits returns the credit count of output VC (port, vc).
+func (r *Router) Credits(port, vc int) int { return r.outputs[port][vc].credits }
+
+// DBLanes returns the number of Deadlock Buffer units (0 with recovery
+// disabled, 1 for sequential recovery, 2 for concurrent recovery).
+func (r *Router) DBLanes() int { return len(r.dbs) }
+
+// DBOccupancy returns the total number of flits across all Deadlock
+// Buffer lanes.
+func (r *Router) DBOccupancy() int {
+	n := 0
+	for i := range r.dbs {
+		n += r.dbs[i].buf.Len()
+	}
+	return n
+}
+
+// DBOwner returns the packet currently threading the (first) Deadlock
+// Buffer lane; use DBLaneOwner for a specific lane.
+func (r *Router) DBOwner() *packet.Packet {
+	if len(r.dbs) == 0 {
+		return nil
+	}
+	return r.dbs[0].pkt
+}
+
+// DBLaneOwner returns the packet threading the given Deadlock Buffer lane.
+func (r *Router) DBLaneOwner(lane int) *packet.Packet { return r.dbs[lane].pkt }
+
+// InputPorts returns the number of input ports including injection.
+func (r *Router) InputPorts() int { return len(r.inputs) }
+
+// InputVCCount returns the number of VCs on the given input port.
+func (r *Router) InputVCCount(port int) int { return len(r.inputs[port]) }
+
+// Quiescent reports whether the router holds no flits at all.
+func (r *Router) Quiescent() bool {
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			if !r.inputs[p][v].buf.Empty() {
+				return false
+			}
+		}
+	}
+	for i := range r.dbs {
+		if !r.dbs[i].buf.Empty() {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Router) String() string {
+	return fmt.Sprintf("router@%v(%s)", r.topo.Coord(r.node), r.alg.Name())
+}
+
+// Disconnect severs the output link on the given port (fault injection).
+// The network guarantees the link is idle when it calls this.
+func (r *Router) Disconnect(port int) { r.neighbors[port] = nil }
+
+// SetDBRouteTable installs a fault-aware next-hop table for the Deadlock
+// Buffer lane: table[int(dst)*nodes + int(node)] is the output port toward
+// dst at node over live links only. When set it replaces dimension-order
+// DB routing (sequential recovery with failed links).
+func (r *Router) SetDBRouteTable(table []int32) { r.dbTable = table }
+
+// LinkBusy reports whether any traffic state rides the output link on port:
+// an owned output VC, undrained downstream credits, or Deadlock Buffer
+// traffic routed through it. Fault injection refuses busy links (dynamic
+// mid-stream faults lose flits and are out of scope, as in the paper).
+func (r *Router) LinkBusy(port int) bool {
+	if r.neighbors[port] == nil {
+		return false
+	}
+	for v := range r.outputs[port] {
+		o := &r.outputs[port][v]
+		if o.owner != nil || o.credits != r.cfg.BufferDepth {
+			return true
+		}
+	}
+	for lane := range r.dbs {
+		if r.dbs[lane].pkt != nil && r.dbs[lane].route == port {
+			return true
+		}
+	}
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			if ivc.pkt != nil && ivc.route == port {
+				return true
+			}
+		}
+	}
+	return false
+}

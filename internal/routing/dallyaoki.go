@@ -1,0 +1,99 @@
+package routing
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// dallyAoki implements Dally & Aoki's Dynamic Routing Algorithm. Virtual
+// channels are split into an adaptive class and a deterministic class
+// (dimension-order with dateline VCs on a torus). Each packet carries a
+// dimension-reversal (DR) count, incremented whenever it routes from a
+// higher dimension to a lower one. A packet routes adaptively until it is
+// blocked with every suitable adaptive channel held by packets whose DR is
+// less than or equal to its own; it is then forced onto the deterministic
+// class and must stay there to its destination. Waiting is permitted only on
+// packets with strictly higher DR, which keeps the packet wait-for graph
+// acyclic.
+//
+// Routing in the adaptive class is minimal here (the comparison methodology
+// of the paper and of Boppana & Chalasani), so DRs arise from adaptive
+// dimension ordering rather than from explicit misrouting.
+type dallyAoki struct{}
+
+// DallyAoki returns Dally & Aoki's dynamic fully adaptive algorithm.
+func DallyAoki() Algorithm { return dallyAoki{} }
+
+func (dallyAoki) Name() string { return "dally-aoki" }
+
+func (dallyAoki) MinVCs(topo topology.Topology) int {
+	if topo.Wrap() {
+		return 3 // 1 adaptive + 2 deterministic (dateline classes)
+	}
+	return 2 // 1 adaptive + 1 deterministic
+}
+
+// detVCs returns the number of VCs reserved for the deterministic class.
+func (dallyAoki) detVCs(topo topology.Topology) int {
+	if topo.Wrap() {
+		return 2
+	}
+	return 1
+}
+
+func (a dallyAoki) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
+	topo := v.Topo()
+	det := a.detVCs(topo)
+	vcs := v.VCs()
+	base := len(buf)
+
+	deterministic := func(to bool) []Candidate {
+		buf = buf[:base] // discard any adaptive candidates gathered above
+		port, ok := dorPort(topo, v.Node(), p.Dst)
+		if !ok {
+			return buf
+		}
+		vc := vcs - det // dateline class 0
+		if det == 2 && datelineClass(p, topology.PortDim(port)) == 1 {
+			vc = vcs - 1
+		}
+		return append(buf, Candidate{Port: port, VC: vc, ToDeterministic: to})
+	}
+
+	if p.OnDeterministic {
+		return deterministic(false)
+	}
+
+	// Adaptive class: every minimal port, every adaptive VC.
+	for _, port := range topo.MinimalPorts(v.Node(), p.Dst) {
+		if !v.LinkExists(port) {
+			continue
+		}
+		for vc := 0; vc < vcs-det; vc++ {
+			buf = append(buf, Candidate{Port: port, VC: vc})
+		}
+	}
+	adaptive := buf[base:]
+	if len(adaptive) == 0 {
+		return deterministic(true)
+	}
+
+	// If any adaptive candidate is free the packet stays adaptive. If all
+	// are busy, it may wait only when some occupant has a strictly higher
+	// DR; otherwise it must transition to the deterministic class.
+	mustSwitch := true
+	for _, c := range adaptive {
+		if v.OutputVCFree(c.Port, c.VC) {
+			mustSwitch = false
+			break
+		}
+		if dr, ok := v.OccupantDimReversals(c.Port, c.VC); ok && dr > p.DimReversals {
+			mustSwitch = false
+			break
+		}
+	}
+	if mustSwitch {
+		return deterministic(true)
+	}
+	return buf
+}

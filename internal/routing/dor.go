@@ -1,0 +1,42 @@
+package routing
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// dor is deterministic dimension-order routing. On a torus it uses the
+// standard dateline virtual-channel discipline: each dimension's ring is
+// split into two VC classes and a packet moves from class 0 to class 1 when
+// it crosses the dateline, which removes the ring cycle from the channel
+// dependency graph. With V virtual channels each class owns V/2 of them
+// (extra channels improve flow control only, exactly as the paper argues VCs
+// should be used).
+type dor struct{}
+
+// DOR returns the non-adaptive dimension-order routing algorithm used as the
+// paper's deterministic baseline.
+func DOR() Algorithm { return dor{} }
+
+func (dor) Name() string { return "dor" }
+
+func (dor) MinVCs(topo topology.Topology) int {
+	if topo.Wrap() {
+		return 2
+	}
+	return 1
+}
+
+func (dor) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
+	topo := v.Topo()
+	port, ok := dorPort(topo, v.Node(), p.Dst)
+	if !ok {
+		return buf
+	}
+	classes := 1
+	if topo.Wrap() {
+		classes = 2
+	}
+	class := datelineClass(p, topology.PortDim(port))
+	return classVCs(buf, port, class, v.VCs(), classes, Candidate{})
+}

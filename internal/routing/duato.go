@@ -1,0 +1,90 @@
+package routing
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// duato implements Duato's fully adaptive deadlock-avoidance algorithm.
+// Virtual channels are split into an adaptive class and an escape class; the
+// escape channels form a connected routing subfunction with an acyclic
+// extended channel dependency graph (dimension-order routing with dateline
+// VC classes on a torus). A packet routes with full (minimal) adaptivity on
+// the adaptive channels and takes an escape channel only when blocked at the
+// current router; at subsequent routers it may return to the adaptive
+// channels — the flexibility the paper highlights over Dally & Aoki.
+//
+// The preference is expressed through candidate classes: adaptive candidates
+// are class 0 and the escape candidate class 1, and the router only
+// considers class 1 when no class-0 candidate is usable in the cycle.
+type duato struct {
+	// strict forbids returning from the escape channels to the adaptive
+	// ones: once a packet takes an escape hop it stays dimension-ordered to
+	// its destination. Duato's theory does not require this, but early
+	// simulator implementations (including, apparently, the one the DISHA
+	// paper compares against — its Duato saturates near DOR) behaved this
+	// way; the variant brackets how much baseline strength depends on the
+	// escape policy.
+	strict bool
+}
+
+// Duato returns Duato's adaptive routing algorithm with escape channels and
+// the liberal escape policy the DISHA paper describes ("at subsequent
+// routers, it is free to go back onto the adaptive channels").
+func Duato() Algorithm { return duato{} }
+
+// DuatoStrict returns the conservative variant in which escape use is
+// permanent, as an ablation baseline.
+func DuatoStrict() Algorithm { return duato{strict: true} }
+
+func (a duato) Name() string {
+	if a.strict {
+		return "duato-strict"
+	}
+	return "duato"
+}
+
+func (duato) MinVCs(topo topology.Topology) int {
+	if topo.Wrap() {
+		return 3 // 2 escape (dateline classes) + 1 adaptive
+	}
+	return 2 // 1 escape + 1 adaptive
+}
+
+func (duato) escVCs(topo topology.Topology) int {
+	if topo.Wrap() {
+		return 2
+	}
+	return 1
+}
+
+func (a duato) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
+	topo := v.Topo()
+	esc := a.escVCs(topo)
+	vcs := v.VCs()
+
+	// Adaptive class (class 0): every minimal port, VCs [esc, vcs). Under
+	// the strict variant a packet that has escaped stays on the escape
+	// subnetwork (OnDeterministic doubles as the "escaped" flag).
+	if !a.strict || !p.OnDeterministic {
+		for _, port := range topo.MinimalPorts(v.Node(), p.Dst) {
+			if !v.LinkExists(port) {
+				continue
+			}
+			for vc := esc; vc < vcs; vc++ {
+				buf = append(buf, Candidate{Port: port, VC: vc})
+			}
+		}
+	}
+
+	// Escape path (class 1): dimension-order on the escape VCs. VC 0 is
+	// dateline class 0 and VC 1 class 1 on a torus; VC 0 on a mesh.
+	if port, ok := dorPort(topo, v.Node(), p.Dst); ok {
+		vc := 0
+		if esc == 2 && datelineClass(p, topology.PortDim(port)) == 1 {
+			vc = 1
+		}
+		buf = append(buf, Candidate{Port: port, VC: vc, Class: 1, ToDeterministic: a.strict})
+	}
+	return buf
+}

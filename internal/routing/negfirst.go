@@ -1,0 +1,70 @@
+package routing
+
+import (
+	"repro/internal/packet"
+	"repro/internal/topology"
+)
+
+// negFirst implements the Turn model's negative-first algorithm, which the
+// paper reports "supposedly gives the best results among those derived using
+// this model". A packet first completes every hop whose direction is
+// negative, routing adaptively among those dimensions; only then may it take
+// positive hops, again adaptively. Turns from a positive direction into a
+// negative one are prohibited, which removes the abstract cycles the Turn
+// model identifies.
+//
+// The Turn model's proof is for meshes. On a torus the wraparound links
+// admit "staircase" cycles built entirely from negative channels spanning
+// several dimensions, which per-dimension dateline classes do not break
+// (this implementation's original dateline composition was shown to
+// deadlock by the conservation property test). As documented in DESIGN.md,
+// negative-first on a torus therefore routes over the mesh subgraph only —
+// wraparound links are never used — preserving the mesh proof verbatim at
+// the cost of longer paths, consistent with the poor Turn-model showing in
+// the paper's Figure 4.
+type negFirst struct{}
+
+// NegativeFirst returns the Turn model (negative-first) routing algorithm.
+func NegativeFirst() Algorithm { return negFirst{} }
+
+func (negFirst) Name() string { return "turn-negative-first" }
+
+func (negFirst) MinVCs(topology.Topology) int { return 1 }
+
+func (negFirst) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
+	topo := v.Topo()
+	node := v.Node()
+	fc, tc := topo.Coord(node), topo.Coord(p.Dst)
+
+	// Mesh directions only: the sign of the raw coordinate offset. On a
+	// torus this never selects a wraparound hop.
+	var negPorts, posPorts []int
+	for d := 0; d < topo.Dims(); d++ {
+		if fc[d] == tc[d] {
+			continue
+		}
+		sign := 1
+		if tc[d] < fc[d] {
+			sign = -1
+		}
+		port := topology.PortFor(d, sign)
+		if !v.LinkExists(port) {
+			continue
+		}
+		if sign < 0 {
+			negPorts = append(negPorts, port)
+		} else {
+			posPorts = append(posPorts, port)
+		}
+	}
+	ports := negPorts
+	if len(ports) == 0 {
+		ports = posPorts
+	}
+	for _, port := range ports {
+		for vc := 0; vc < v.VCs(); vc++ {
+			buf = append(buf, Candidate{Port: port, VC: vc})
+		}
+	}
+	return buf
+}

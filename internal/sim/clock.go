@@ -1,0 +1,22 @@
+package sim
+
+// Cycle is a simulation timestamp measured in router clock cycles.
+type Cycle int64
+
+// Clock is the global cycle counter for a simulation. The zero Clock starts
+// at cycle 0.
+type Clock struct {
+	now Cycle
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() Cycle { return c.now }
+
+// Tick advances the clock by one cycle and returns the new time.
+func (c *Clock) Tick() Cycle {
+	c.now++
+	return c.now
+}
+
+// Reset rewinds the clock to cycle 0.
+func (c *Clock) Reset() { c.now = 0 }

@@ -1,0 +1,384 @@
+// Package topology models the direct interconnection networks used by the
+// DISHA reproduction: k-ary n-cube tori and meshes. It provides node and
+// port addressing, minimal-direction computation, distance metrics, torus
+// dateline classification (used by deadlock-avoidance baselines), and a
+// Hamiltonian traversal order used by the recovery Token.
+//
+// Port numbering convention: a node with n dimensions has 2n network ports;
+// port 2*d is the positive direction of dimension d and port 2*d+1 the
+// negative direction. Injection and reception channels are modeled by
+// internal/router and are not ports of the topology.
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node identifies a router/processing node; valid values are [0, Nodes()).
+type Node int
+
+// Coord is a per-dimension coordinate vector for a node.
+type Coord []int
+
+// Clone returns a copy of the coordinate vector.
+func (c Coord) Clone() Coord {
+	out := make(Coord, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two coordinate vectors are identical.
+func (c Coord) Equal(o Coord) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c Coord) String() string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// PortDim returns the dimension a network port travels in.
+func PortDim(port int) int { return port / 2 }
+
+// PortSign returns +1 for a positive-direction port and -1 for negative.
+func PortSign(port int) int {
+	if port%2 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// PortFor returns the port moving in the given sign (+1/-1) of dimension d.
+func PortFor(d, sign int) int {
+	if sign > 0 {
+		return 2 * d
+	}
+	return 2*d + 1
+}
+
+// ReversePort returns the port on the neighboring node that points back
+// along the same physical link.
+func ReversePort(port int) int { return port ^ 1 }
+
+// Topology is the read-only interface the simulator needs from a network
+// graph. Implementations must be immutable after construction.
+type Topology interface {
+	// Name returns a short human-readable description, e.g. "torus-16x16".
+	Name() string
+	// Nodes returns the number of nodes.
+	Nodes() int
+	// Dims returns the number of dimensions n.
+	Dims() int
+	// Radix returns the radix (number of nodes) of dimension d.
+	Radix(d int) int
+	// Degree returns the number of network ports per node (2n). Mesh edge
+	// nodes have some ports unconnected; see Neighbor.
+	Degree() int
+	// Coord returns the coordinate vector of a node.
+	Coord(Node) Coord
+	// NodeAt returns the node with the given coordinates.
+	NodeAt(Coord) Node
+	// Neighbor returns the node reached from n via port, and whether the
+	// link exists (mesh boundary ports do not).
+	Neighbor(n Node, port int) (Node, bool)
+	// MinimalPorts returns the set of output ports at from that lie on some
+	// minimal path to to. Empty iff from == to.
+	MinimalPorts(from, to Node) []int
+	// Distance returns the minimal hop count between two nodes.
+	Distance(from, to Node) int
+	// CrossesDateline reports whether taking port at node n traverses the
+	// torus dateline of the port's dimension (always false on a mesh).
+	// Deadlock-avoidance baselines use this to switch VC classes.
+	CrossesDateline(n Node, port int) bool
+	// HamiltonianOrder returns a fixed serpentine visiting order covering
+	// every node exactly once; the recovery Token circulates this order
+	// cyclically over its dedicated hardwired path.
+	HamiltonianOrder() []Node
+	// Wrap reports whether the topology has wraparound links (torus).
+	Wrap() bool
+}
+
+// cube implements both torus and mesh k-ary n-cube topologies.
+type cube struct {
+	radix   []int
+	stride  []int // mixed-radix strides: stride[d] = product of radix[0..d-1]
+	nodes   int
+	wrap    bool
+	name    string
+	hamOnce []Node
+}
+
+// NewTorus constructs a k-ary n-cube with wraparound links. radix gives the
+// number of nodes per dimension (len(radix) = n). Every radix must be >= 2.
+func NewTorus(radix ...int) (Topology, error) { return newCube(true, radix) }
+
+// NewMesh constructs a k-ary n-cube without wraparound links.
+func NewMesh(radix ...int) (Topology, error) { return newCube(false, radix) }
+
+// MustTorus is NewTorus that panics on error; convenient in tests/examples.
+func MustTorus(radix ...int) Topology {
+	t, err := NewTorus(radix...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// MustMesh is NewMesh that panics on error.
+func MustMesh(radix ...int) Topology {
+	t, err := NewMesh(radix...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewHypercube constructs the n-dimensional binary hypercube: a 2-ary
+// n-cube without wraparounds (each dimension has exactly two nodes joined
+// by one full-duplex link, so only one port per dimension is wired). The
+// paper's adaptive-routing lineage (Gaughan & Yalamanchili) targets
+// hypercubes; Disha applies unchanged.
+func NewHypercube(dims int) (Topology, error) {
+	if dims < 1 {
+		return nil, fmt.Errorf("topology: hypercube needs at least one dimension")
+	}
+	radix := make([]int, dims)
+	for i := range radix {
+		radix[i] = 2
+	}
+	t, err := newCube(false, radix)
+	if err != nil {
+		return nil, err
+	}
+	t.(*cube).name = "hypercube-" + fmt.Sprint(dims)
+	return t, nil
+}
+
+// MustHypercube is NewHypercube that panics on error.
+func MustHypercube(dims int) Topology {
+	t, err := NewHypercube(dims)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func newCube(wrap bool, radix []int) (Topology, error) {
+	if len(radix) == 0 {
+		return nil, fmt.Errorf("topology: need at least one dimension")
+	}
+	nodes := 1
+	for d, k := range radix {
+		if k < 2 {
+			return nil, fmt.Errorf("topology: dimension %d has radix %d; need >= 2", d, k)
+		}
+		if nodes > 1<<20 {
+			return nil, fmt.Errorf("topology: network too large")
+		}
+		nodes *= k
+	}
+	stride := make([]int, len(radix))
+	s := 1
+	for d := range radix {
+		stride[d] = s
+		s *= radix[d]
+	}
+	kind := "mesh"
+	if wrap {
+		kind = "torus"
+	}
+	parts := make([]string, len(radix))
+	for i, k := range radix {
+		parts[i] = fmt.Sprint(k)
+	}
+	c := &cube{
+		radix:  append([]int(nil), radix...),
+		stride: stride,
+		nodes:  nodes,
+		wrap:   wrap,
+		name:   kind + "-" + strings.Join(parts, "x"),
+	}
+	c.hamOnce = c.buildHamiltonian()
+	return c, nil
+}
+
+func (c *cube) Name() string    { return c.name }
+func (c *cube) Nodes() int      { return c.nodes }
+func (c *cube) Dims() int       { return len(c.radix) }
+func (c *cube) Radix(d int) int { return c.radix[d] }
+func (c *cube) Degree() int     { return 2 * len(c.radix) }
+func (c *cube) Wrap() bool      { return c.wrap }
+
+func (c *cube) Coord(n Node) Coord {
+	co := make(Coord, len(c.radix))
+	v := int(n)
+	for d, k := range c.radix {
+		co[d] = v % k
+		v /= k
+	}
+	return co
+}
+
+func (c *cube) NodeAt(co Coord) Node {
+	if len(co) != len(c.radix) {
+		panic(fmt.Sprintf("topology: coordinate %v has wrong dimensionality", co))
+	}
+	v := 0
+	for d, x := range co {
+		if x < 0 || x >= c.radix[d] {
+			panic(fmt.Sprintf("topology: coordinate %v out of range", co))
+		}
+		v += x * c.stride[d]
+	}
+	return Node(v)
+}
+
+func (c *cube) Neighbor(n Node, port int) (Node, bool) {
+	if port < 0 {
+		return 0, false
+	}
+	d := PortDim(port)
+	if d >= len(c.radix) {
+		return 0, false
+	}
+	k := c.radix[d]
+	x := (int(n) / c.stride[d]) % k
+	var nx int
+	if PortSign(port) > 0 {
+		nx = x + 1
+		if nx == k {
+			if !c.wrap {
+				return 0, false
+			}
+			nx = 0
+		}
+	} else {
+		nx = x - 1
+		if nx < 0 {
+			if !c.wrap {
+				return 0, false
+			}
+			nx = k - 1
+		}
+	}
+	return Node(int(n) + (nx-x)*c.stride[d]), true
+}
+
+// dimOffset returns, for dimension d, the signed minimal offsets available.
+// On a torus it can return two entries when both directions are equally
+// minimal (offset exactly half the radix on an even ring).
+func (c *cube) dimSigns(from, to Node, d int) (signs [2]int, count, dist int) {
+	k := c.radix[d]
+	fx := (int(from) / c.stride[d]) % k
+	tx := (int(to) / c.stride[d]) % k
+	if fx == tx {
+		return signs, 0, 0
+	}
+	if !c.wrap {
+		if tx > fx {
+			signs[0] = 1
+			return signs, 1, tx - fx
+		}
+		signs[0] = -1
+		return signs, 1, fx - tx
+	}
+	fwd := tx - fx
+	if fwd < 0 {
+		fwd += k
+	}
+	bwd := k - fwd
+	switch {
+	case fwd < bwd:
+		signs[0] = 1
+		return signs, 1, fwd
+	case bwd < fwd:
+		signs[0] = -1
+		return signs, 1, bwd
+	default: // equidistant on an even ring: both directions minimal
+		signs[0], signs[1] = 1, -1
+		return signs, 2, fwd
+	}
+}
+
+func (c *cube) MinimalPorts(from, to Node) []int {
+	if from == to {
+		return nil
+	}
+	ports := make([]int, 0, c.Degree())
+	for d := range c.radix {
+		signs, count, _ := c.dimSigns(from, to, d)
+		for i := 0; i < count; i++ {
+			ports = append(ports, PortFor(d, signs[i]))
+		}
+	}
+	return ports
+}
+
+func (c *cube) Distance(from, to Node) int {
+	total := 0
+	for d := range c.radix {
+		_, _, dist := c.dimSigns(from, to, d)
+		total += dist
+	}
+	return total
+}
+
+func (c *cube) CrossesDateline(n Node, port int) bool {
+	if !c.wrap {
+		return false
+	}
+	d := PortDim(port)
+	k := c.radix[d]
+	x := (int(n) / c.stride[d]) % k
+	if PortSign(port) > 0 {
+		return x == k-1
+	}
+	return x == 0
+}
+
+// buildHamiltonian constructs a boustrophedon (snake) order: consecutive
+// nodes differ in exactly one coordinate by one, so the order is a
+// Hamiltonian path of the mesh (and of the torus, which has the mesh's links
+// plus wraparounds).
+func (c *cube) buildHamiltonian() []Node {
+	order := make([]Node, 0, c.nodes)
+	for i := 0; i < c.nodes; i++ {
+		order = append(order, c.NodeAt(snakeCoord(i, c.radix)))
+	}
+	return order
+}
+
+// snakeCoord maps a linear index to a boustrophedon coordinate via a
+// reflected mixed-radix code: digit d scans forward when the quotient of
+// more-significant digits is even and backward when odd.
+func snakeCoord(i int, radix []int) Coord {
+	co := make(Coord, len(radix))
+	for d := 0; d < len(radix); d++ {
+		k := radix[d]
+		digit := i % k
+		i /= k
+		if i%2 == 1 { // odd progress of higher digits: reflect this digit
+			digit = k - 1 - digit
+		}
+		co[d] = digit
+	}
+	return co
+}
+
+func (c *cube) HamiltonianOrder() []Node {
+	out := make([]Node, len(c.hamOnce))
+	copy(out, c.hamOnce)
+	return out
+}

@@ -1,0 +1,225 @@
+// Package traffic implements the workload generators used in the paper's
+// evaluation — uniform, bit-reversal, matrix-transpose and hot-spot traffic —
+// plus several standard patterns (complement, tornado, bit-shuffle, nearest
+// neighbor) used by the extension benchmarks.
+//
+// It also provides the load normalization the paper uses: "Load-Rate is a
+// fraction of full load, defined as the load at which all channels in the
+// network are used simultaneously (maximum network capacity)." Full load for
+// a pattern is derived from the exact expected minimal hop count of that
+// pattern on the given topology.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// Pattern maps a source node to a destination node. Deterministic patterns
+// ignore the RNG. A pattern may return dst == src (e.g. transpose diagonal
+// nodes); callers skip such packets, matching the paper's simulators.
+type Pattern interface {
+	Name() string
+	Dest(src topology.Node, r *sim.RNG) topology.Node
+}
+
+// --- Uniform ---------------------------------------------------------------
+
+type uniform struct {
+	topo topology.Topology
+}
+
+// Uniform sends each packet to a destination chosen uniformly among all
+// other nodes.
+func Uniform(topo topology.Topology) Pattern { return uniform{topo} }
+
+func (uniform) Name() string { return "uniform" }
+
+func (u uniform) Dest(src topology.Node, r *sim.RNG) topology.Node {
+	n := u.topo.Nodes()
+	d := topology.Node(r.Intn(n - 1))
+	if d >= src {
+		d++
+	}
+	return d
+}
+
+// --- Bit reversal ----------------------------------------------------------
+
+type bitReversal struct {
+	topo topology.Topology
+	bits int
+}
+
+// BitReversal sends from the node with binary address a_{b-1}..a_0 to the
+// node with address a_0..a_{b-1}. The node count must be a power of two.
+func BitReversal(topo topology.Topology) (Pattern, error) {
+	bits, ok := log2(topo.Nodes())
+	if !ok {
+		return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count, have %d", topo.Nodes())
+	}
+	return bitReversal{topo, bits}, nil
+}
+
+func (bitReversal) Name() string { return "bit-reversal" }
+
+func (p bitReversal) Dest(src topology.Node, _ *sim.RNG) topology.Node {
+	v := uint(src)
+	var out uint
+	for i := 0; i < p.bits; i++ {
+		out = out<<1 | v&1
+		v >>= 1
+	}
+	return topology.Node(out)
+}
+
+// --- Matrix transpose ------------------------------------------------------
+
+type transpose struct {
+	topo topology.Topology
+}
+
+// Transpose sends from (x, y) to (y, x). The topology must be 2-dimensional
+// and square.
+func Transpose(topo topology.Topology) (Pattern, error) {
+	if topo.Dims() != 2 || topo.Radix(0) != topo.Radix(1) {
+		return nil, fmt.Errorf("traffic: transpose needs a square 2D network, have %s", topo.Name())
+	}
+	return transpose{topo}, nil
+}
+
+func (transpose) Name() string { return "transpose" }
+
+func (p transpose) Dest(src topology.Node, _ *sim.RNG) topology.Node {
+	co := p.topo.Coord(src)
+	return p.topo.NodeAt(topology.Coord{co[1], co[0]})
+}
+
+// --- Hot spot ---------------------------------------------------------------
+
+type hotSpot struct {
+	base     Pattern
+	spot     topology.Node
+	fraction float64
+	name     string
+}
+
+// HotSpot directs fraction of all traffic (e.g. 0.05 for the paper's 5%) to
+// a single fixed hot node; the remainder follows base. The paper selects the
+// hot node at random; pass any node here and let the harness randomize.
+func HotSpot(base Pattern, spot topology.Node, fraction float64) Pattern {
+	return hotSpot{
+		base:     base,
+		spot:     spot,
+		fraction: fraction,
+		name:     fmt.Sprintf("hotspot-%g%%-%s", fraction*100, base.Name()),
+	}
+}
+
+func (p hotSpot) Name() string { return p.name }
+
+func (p hotSpot) Dest(src topology.Node, r *sim.RNG) topology.Node {
+	if r.Bernoulli(p.fraction) {
+		return p.spot
+	}
+	return p.base.Dest(src, r)
+}
+
+// --- Complement ------------------------------------------------------------
+
+type complement struct {
+	topo topology.Topology
+}
+
+// Complement sends from coordinates (a_0, ..) to (k_0-1-a_0, ..): the node
+// diagonally opposite in every dimension.
+func Complement(topo topology.Topology) Pattern { return complement{topo} }
+
+func (complement) Name() string { return "complement" }
+
+func (p complement) Dest(src topology.Node, _ *sim.RNG) topology.Node {
+	co := p.topo.Coord(src)
+	for d := range co {
+		co[d] = p.topo.Radix(d) - 1 - co[d]
+	}
+	return p.topo.NodeAt(co)
+}
+
+// --- Tornado ----------------------------------------------------------------
+
+type tornado struct {
+	topo topology.Topology
+}
+
+// Tornado sends from (x, ...) to ((x + ceil(k/2) - 1) mod k, ...) in
+// dimension 0 only — the classic adversarial torus pattern that stresses
+// one-direction links.
+func Tornado(topo topology.Topology) Pattern { return tornado{topo} }
+
+func (tornado) Name() string { return "tornado" }
+
+func (p tornado) Dest(src topology.Node, _ *sim.RNG) topology.Node {
+	co := p.topo.Coord(src)
+	k := p.topo.Radix(0)
+	co[0] = (co[0] + (k+1)/2 - 1) % k
+	return p.topo.NodeAt(co)
+}
+
+// --- Bit shuffle -------------------------------------------------------------
+
+type shuffle struct {
+	topo topology.Topology
+	bits int
+}
+
+// BitShuffle sends node a_{b-1}..a_0 to a_{b-2}..a_0,a_{b-1} (rotate left).
+// The node count must be a power of two.
+func BitShuffle(topo topology.Topology) (Pattern, error) {
+	bits, ok := log2(topo.Nodes())
+	if !ok {
+		return nil, fmt.Errorf("traffic: bit-shuffle needs a power-of-two node count, have %d", topo.Nodes())
+	}
+	return shuffle{topo, bits}, nil
+}
+
+func (shuffle) Name() string { return "bit-shuffle" }
+
+func (p shuffle) Dest(src topology.Node, _ *sim.RNG) topology.Node {
+	v := uint(src)
+	top := v >> (p.bits - 1) & 1
+	return topology.Node((v<<1 | top) & (1<<p.bits - 1))
+}
+
+// --- Nearest neighbor --------------------------------------------------------
+
+type neighbor struct {
+	topo topology.Topology
+}
+
+// Neighbor sends each packet one hop in the positive direction of dimension
+// 0 (wrapping on a torus, reflecting at a mesh edge).
+func Neighbor(topo topology.Topology) Pattern { return neighbor{topo} }
+
+func (neighbor) Name() string { return "neighbor" }
+
+func (p neighbor) Dest(src topology.Node, _ *sim.RNG) topology.Node {
+	if nb, ok := p.topo.Neighbor(src, topology.PortFor(0, 1)); ok {
+		return nb
+	}
+	nb, _ := p.topo.Neighbor(src, topology.PortFor(0, -1))
+	return nb
+}
+
+func log2(n int) (int, bool) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, false
+	}
+	b := 0
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b, true
+}

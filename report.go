@@ -1,0 +1,24 @@
+package disha
+
+import (
+	"fmt"
+	"strings"
+)
+
+// formatReport renders counters as a short human-readable block.
+func formatReport(c Counters) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycles:            %d\n", c.Cycles)
+	fmt.Fprintf(&sb, "packets offered:   %d\n", c.PacketsOffered)
+	fmt.Fprintf(&sb, "packets injected:  %d\n", c.PacketsInjected)
+	fmt.Fprintf(&sb, "packets delivered: %d\n", c.PacketsDelivered)
+	fmt.Fprintf(&sb, "flits delivered:   %d\n", c.FlitsDelivered)
+	fmt.Fprintf(&sb, "timeout events:    %d\n", c.TimeoutEvents)
+	fmt.Fprintf(&sb, "token seizures:    %d\n", c.TokenSeizures)
+	fmt.Fprintf(&sb, "recoveries:        %d\n", c.Recoveries)
+	fmt.Fprintf(&sb, "misroute hops:     %d\n", c.MisrouteHops)
+	if c.PacketsDelivered > 0 {
+		fmt.Fprintf(&sb, "seizure ratio:     %.5f\n", float64(c.TokenSeizures)/float64(c.PacketsDelivered))
+	}
+	return sb.String()
+}
