@@ -9,13 +9,21 @@
 // Example — a baseline without recovery:
 //
 //	disha-sim -alg duato -load 0.5 -cycles 20000
+//
+// Example — full observability: Prometheus metrics + pprof on :9090 and a
+// JSONL telemetry stream for disha-trace:
+//
+//	disha-sim -load 0.9 -vcs 1 -metrics-addr :9090 -trace-out run.jsonl -hold 60s
+//	disha-trace run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
+	"time"
 
 	disha "repro"
 )
@@ -42,6 +50,11 @@ func main() {
 		drain     = flag.Int("drain", 0, "extra cycles to drain after stopping injection (0 = no drain)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		wfg       = flag.Bool("wfg", false, "run the wait-for-graph analyzer at the end")
+
+		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
+		traceOut    = flag.String("trace-out", "", "write telemetry samples, trace events, flight-recorder snapshots and final counters as JSON Lines to this file")
+		sampleEvery = flag.Int("sample-every", 100, "telemetry sampling period in cycles (negative disables sampling)")
+		hold        = flag.Duration("hold", 0, "keep the -metrics-addr endpoint up this long after the run (for scraping/pprof)")
 	)
 	flag.Parse()
 
@@ -125,12 +138,63 @@ func main() {
 	})
 	fail(err)
 
+	// Observability: attach the telemetry hub when either output is wanted.
+	var (
+		tel       *disha.Telemetry
+		tw        *disha.TelemetryWriter
+		traceFile *os.File
+	)
+	if *metricsAddr != "" || *traceOut != "" {
+		opts := disha.TelemetryOptions{SampleEvery: *sampleEvery}
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			fail(err)
+			tw = disha.NewTelemetryWriter(traceFile)
+			tw.Meta(map[string]string{
+				"topology":  topo.Name(),
+				"algorithm": alg.Name(),
+				"traffic":   pattern.Name(),
+				"load":      fmt.Sprintf("%g", *load),
+				"msglen":    strconv.Itoa(*msgLen),
+				"vcs":       strconv.Itoa(*vcs),
+				"timeout":   strconv.Itoa(*timeout),
+				"recovery":  *recovMode,
+				"cycles":    strconv.Itoa(*cycles),
+				"seed":      strconv.FormatUint(*seed, 10),
+			})
+			opts.Writer = tw
+		}
+		tel = sim.EnableTelemetry(opts)
+		if tw != nil {
+			// Tee every trace event into the JSONL stream as it happens.
+			tb := sim.EnableTrace(4096)
+			tb.SetSink(func(e disha.TraceEvent) {
+				tw.Event(int64(e.Cycle), e.Kind.String(), int(e.Node), int64(e.Pkt))
+			})
+		}
+		if *metricsAddr != "" {
+			bound, shutdown, err := sim.ServeMetrics(*metricsAddr)
+			fail(err)
+			defer shutdown()
+			fmt.Fprintf(os.Stderr, "disha-sim: serving /metrics and /debug/pprof on http://%s\n", bound)
+		}
+	}
+
 	var lat disha.LatencyCollector
 	sim.OnDeliver(func(p *disha.Packet) { lat.Add(float64(p.Age())) })
 	sim.Run(*cycles)
 	drained := false
 	if *drain > 0 {
 		drained = sim.Drain(*drain)
+	}
+	if tel != nil {
+		tel.Registry.Publish() // final state for late scrapes
+	}
+	if tw != nil {
+		tw.WriteCounters(int64(sim.Now()), sim.CountersMap())
+		fail(tw.Flush())
+		fail(traceFile.Close())
+		fmt.Fprintf(os.Stderr, "disha-sim: telemetry written to %s\n", *traceOut)
 	}
 
 	fmt.Printf("%s | %s | %s | load %.2f | %d-flit messages | %d VCs x depth %d\n",
@@ -145,6 +209,10 @@ func main() {
 		res := sim.AnalyzeDeadlock()
 		fmt.Printf("wfg blocked:       %d headers\n", len(res.Blocked))
 		fmt.Printf("wfg true deadlock: %v (%d members)\n", res.TrueDeadlock(), len(res.Deadlocked))
+	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Fprintf(os.Stderr, "disha-sim: holding metrics endpoint for %v\n", *hold)
+		time.Sleep(*hold)
 	}
 }
 

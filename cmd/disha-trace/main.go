@@ -1,0 +1,370 @@
+// Command disha-trace loads a JSONL telemetry dump produced by
+// disha-sim -trace-out and prints a recovery post-mortem: what the run was,
+// how often deadlock was presumed, how each recovery episode unfolded
+// (timeout -> Token capture -> Deadlock Buffer -> Token release -> delivery),
+// what the flight recorder saw around each presumption, and how the sampled
+// congestion series evolved.
+//
+// Usage:
+//
+//	disha-trace run.jsonl             # full post-mortem
+//	disha-trace -pkt 1234 run.jsonl   # one packet's event history
+//	disha-trace -episodes 20 run.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		pkt      = flag.Int64("pkt", -1, "print the event history of one packet and exit")
+		episodes = flag.Int("episodes", 10, "max recovery episodes to print")
+		snaps    = flag.Int("snapshots", 4, "max flight-recorder snapshots to detail")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: disha-trace [flags] <trace.jsonl>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	fail(err)
+	lines, err := telemetry.ReadJSONL(f)
+	f.Close()
+	fail(err)
+
+	d := split(lines)
+
+	if *pkt >= 0 {
+		printPacket(d, *pkt)
+		return
+	}
+
+	printMeta(d)
+	printEventTotals(d)
+	printEpisodes(d, *episodes)
+	printSnapshots(d, *snaps)
+	printSeries(d)
+	printCounters(d)
+}
+
+// dump is the trace file split by record type, in file order.
+type dump struct {
+	meta      map[string]string
+	events    []telemetry.Line
+	samples   []telemetry.Line
+	snapshots []*telemetry.Snapshot
+	counters  map[string]int64
+	lastCycle int64
+}
+
+func split(lines []telemetry.Line) *dump {
+	d := &dump{}
+	for _, l := range lines {
+		if l.Cycle > d.lastCycle {
+			d.lastCycle = l.Cycle
+		}
+		switch l.Type {
+		case "meta":
+			d.meta = l.Meta
+		case "event":
+			d.events = append(d.events, l)
+		case "sample":
+			d.samples = append(d.samples, l)
+		case "snapshot":
+			if l.Snapshot != nil {
+				d.snapshots = append(d.snapshots, l.Snapshot)
+			}
+		case "counters":
+			d.counters = l.Counters
+		}
+	}
+	return d
+}
+
+func printMeta(d *dump) {
+	fmt.Println("run")
+	if len(d.meta) == 0 {
+		fmt.Println("  (no meta record)")
+		return
+	}
+	keys := make([]string, 0, len(d.meta))
+	for k := range d.meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-10s %s\n", k, d.meta[k])
+	}
+}
+
+func printEventTotals(d *dump) {
+	fmt.Println("\nevents")
+	if len(d.events) == 0 {
+		fmt.Println("  (none recorded)")
+		return
+	}
+	counts := map[string]int{}
+	for _, e := range d.events {
+		counts[e.Kind]++
+	}
+	// Stable, meaningful order: lifecycle first, then recovery machinery.
+	order := []string{"inject", "deliver", "timeout", "recover", "token-capture", "token-release", "kill"}
+	seen := map[string]bool{}
+	for _, k := range order {
+		if counts[k] > 0 {
+			fmt.Printf("  %-14s %d\n", k, counts[k])
+		}
+		seen[k] = true
+	}
+	for k, c := range counts {
+		if !seen[k] {
+			fmt.Printf("  %-14s %d\n", k, c)
+		}
+	}
+}
+
+// episode is one packet's recovery story, reconstructed from its events.
+type episode struct {
+	pkt                                               int64
+	node                                              int
+	timeout, capture, recover, release, deliver, kill int64
+}
+
+// buildEpisodes correlates per-packet events: the first timeout opens an
+// episode; capture/recover/release/deliver/kill cycles fill it in.
+func buildEpisodes(d *dump) []*episode {
+	byPkt := map[int64]*episode{}
+	var order []*episode
+	for _, e := range d.events {
+		ep := byPkt[e.Pkt]
+		switch e.Kind {
+		case "timeout":
+			if ep == nil {
+				ep = &episode{pkt: e.Pkt, node: e.Node, timeout: e.Cycle,
+					capture: -1, recover: -1, release: -1, deliver: -1, kill: -1}
+				byPkt[e.Pkt] = ep
+				order = append(order, ep)
+			}
+		case "token-capture":
+			if ep != nil && ep.capture < 0 {
+				ep.capture = e.Cycle
+			}
+		case "recover":
+			if ep != nil && ep.recover < 0 {
+				ep.recover = e.Cycle
+				ep.node = e.Node
+			}
+		case "token-release":
+			if ep != nil && ep.release < 0 {
+				ep.release = e.Cycle
+			}
+		case "deliver":
+			if ep != nil && ep.deliver < 0 {
+				ep.deliver = e.Cycle
+			}
+		case "kill":
+			if ep != nil && ep.kill < 0 {
+				ep.kill = e.Cycle
+			}
+		}
+	}
+	return order
+}
+
+func printEpisodes(d *dump, max int) {
+	eps := buildEpisodes(d)
+	fmt.Printf("\nrecovery episodes (%d presumed-deadlocked packets)\n", len(eps))
+	if len(eps) == 0 {
+		return
+	}
+	recovered, resolved := 0, 0
+	var totalToDeliver, delivered int64
+	for _, ep := range eps {
+		if ep.recover >= 0 {
+			recovered++
+		}
+		if ep.deliver >= 0 {
+			resolved++
+			totalToDeliver += ep.deliver - ep.timeout
+			delivered++
+		}
+	}
+	fmt.Printf("  recovered via DB lane: %d, delivered after timeout: %d", recovered, resolved)
+	if delivered > 0 {
+		fmt.Printf(" (mean timeout->deliver %d cycles)", totalToDeliver/delivered)
+	}
+	fmt.Println()
+	for i, ep := range eps {
+		if i >= max {
+			fmt.Printf("  ... %d more (raise -episodes)\n", len(eps)-max)
+			break
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "  pkt %-6d timeout@%d node=%d", ep.pkt, ep.timeout, ep.node)
+		if ep.capture >= 0 {
+			fmt.Fprintf(&sb, " -> token-capture@%d", ep.capture)
+		}
+		if ep.recover >= 0 {
+			fmt.Fprintf(&sb, " -> db-lane@%d", ep.recover)
+		}
+		if ep.release >= 0 {
+			fmt.Fprintf(&sb, " -> token-release@%d", ep.release)
+		}
+		if ep.kill >= 0 {
+			fmt.Fprintf(&sb, " -> killed@%d", ep.kill)
+		}
+		switch {
+		case ep.deliver >= 0:
+			fmt.Fprintf(&sb, " -> delivered@%d (+%d cycles)", ep.deliver, ep.deliver-ep.timeout)
+		case ep.kill >= 0:
+			// killed: retransmitted under a fresh packet ID
+		default:
+			sb.WriteString(" -> unresolved at end of trace")
+		}
+		fmt.Println(sb.String())
+	}
+}
+
+func printSnapshots(d *dump, max int) {
+	fmt.Printf("\nflight-recorder snapshots (%d)\n", len(d.snapshots))
+	for i, s := range d.snapshots {
+		if i >= max {
+			fmt.Printf("  ... %d more (raise -snapshots)\n", len(d.snapshots)-max)
+			break
+		}
+		deadlocked := 0
+		for _, n := range s.WFG {
+			if n.Deadlocked {
+				deadlocked++
+			}
+		}
+		fmt.Printf("  @%d trigger pkt %d at node %d: %d blocked headers, %d in a true deadlock (true_deadlock=%v)\n",
+			s.Cycle, s.TriggerPkt, s.TriggerNode, len(s.WFG), deadlocked, s.TrueDeadlock)
+		if len(s.Frames) > 0 {
+			fmt.Printf("    %d frames (%d..%d); routers saturated first: %s\n",
+				len(s.Frames), s.Frames[0].Cycle, s.Frames[len(s.Frames)-1].Cycle,
+				hottestRouters(s.Frames, 5))
+		}
+	}
+}
+
+// hottestRouters ranks routers by cumulative blocked-header count over the
+// retained frames — the ones that congested first and hardest.
+func hottestRouters(frames []telemetry.Frame, top int) string {
+	blocked := map[int32]int64{}
+	first := map[int32]int64{}
+	for _, fr := range frames {
+		for _, r := range fr.Routers {
+			blocked[r.Node] += int64(r.Blocked)
+			if _, ok := first[r.Node]; !ok {
+				first[r.Node] = fr.Cycle
+			}
+		}
+	}
+	type rank struct {
+		node  int32
+		score int64
+	}
+	var ranks []rank
+	for n, s := range blocked {
+		ranks = append(ranks, rank{n, s})
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].score != ranks[j].score {
+			return ranks[i].score > ranks[j].score
+		}
+		return first[ranks[i].node] < first[ranks[j].node]
+	})
+	if len(ranks) > top {
+		ranks = ranks[:top]
+	}
+	parts := make([]string, len(ranks))
+	for i, r := range ranks {
+		parts[i] = fmt.Sprintf("node %d (blocked %d cycles, from @%d)", r.node, r.score, first[r.node])
+	}
+	if len(parts) == 0 {
+		return "(none blocked)"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func printSeries(d *dump) {
+	fmt.Println("\nsampled series")
+	if len(d.samples) == 0 {
+		fmt.Println("  (none)")
+		return
+	}
+	type agg struct {
+		n                    int
+		min, max, last, mean float64
+	}
+	byName := map[string]*agg{}
+	var names []string
+	for _, s := range d.samples {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{min: s.Value, max: s.Value}
+			byName[s.Name] = a
+			names = append(names, s.Name)
+		}
+		a.n++
+		a.mean += s.Value
+		a.last = s.Value
+		if s.Value < a.min {
+			a.min = s.Value
+		}
+		if s.Value > a.max {
+			a.max = s.Value
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := byName[name]
+		fmt.Printf("  %-28s %4d samples  min %-8g mean %-8.4g max %-8g last %g\n",
+			name, a.n, a.min, a.mean/float64(a.n), a.max, a.last)
+	}
+}
+
+func printCounters(d *dump) {
+	if d.counters == nil {
+		return
+	}
+	fmt.Printf("\nfinal counters @%d\n", d.lastCycle)
+	keys := make([]string, 0, len(d.counters))
+	for k := range d.counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-18s %d\n", k, d.counters[k])
+	}
+}
+
+func printPacket(d *dump, pkt int64) {
+	found := false
+	for _, e := range d.events {
+		if e.Pkt == pkt {
+			found = true
+			fmt.Printf("[%6d] %-13s node=%d\n", e.Cycle, e.Kind, e.Node)
+		}
+	}
+	if !found {
+		fmt.Printf("no events for pkt %d\n", pkt)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disha-trace:", err)
+		os.Exit(1)
+	}
+}

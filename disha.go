@@ -32,6 +32,9 @@
 package disha
 
 import (
+	"fmt"
+	"io"
+
 	"repro/internal/core"
 	"repro/internal/costmodel"
 	"repro/internal/harness"
@@ -42,6 +45,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/traffic"
@@ -324,6 +328,54 @@ func (s *Simulator) EnableTrace(capacity int) *trace.Buffer {
 	b := trace.New(capacity)
 	s.net.SetTrace(b)
 	return b
+}
+
+// --- Telemetry ---------------------------------------------------------------------------
+
+// TelemetryOptions configures the instrumentation layer (sampling period,
+// flight-recorder depth, JSONL output).
+type TelemetryOptions = telemetry.Options
+
+// Telemetry bundles a simulation's registry, sampler and flight recorder.
+type Telemetry = telemetry.Hub
+
+// TelemetryWriter streams telemetry records as JSON Lines.
+type TelemetryWriter = telemetry.JSONLWriter
+
+// NewTelemetryWriter wraps w in a buffered JSONL telemetry encoder.
+func NewTelemetryWriter(w io.Writer) *TelemetryWriter { return telemetry.NewJSONLWriter(w) }
+
+// EnableTelemetry attaches the observability layer: per-router/per-VC
+// counters and gauges (Prometheus text exposition via telemetry.Handler or
+// telemetry.Serve), ring-buffered time-series sampling usable with
+// PlotTimeSeries, and the deadlock flight recorder. Telemetry is pull-based
+// and does not change simulation results (same seed, same outcome).
+func (s *Simulator) EnableTelemetry(opts TelemetryOptions) *Telemetry {
+	return s.net.EnableTelemetry(opts)
+}
+
+// ServeMetrics starts an HTTP listener exposing /metrics (Prometheus text
+// format) and /debug/pprof/ for the simulator's telemetry hub. It returns
+// the bound address and a shutdown function. EnableTelemetry must have been
+// called first.
+func (s *Simulator) ServeMetrics(addr string) (string, func() error, error) {
+	if s.net.Telemetry() == nil {
+		return "", nil, fmt.Errorf("disha: ServeMetrics requires EnableTelemetry first")
+	}
+	return telemetry.Serve(addr, s.net.Telemetry().Registry)
+}
+
+// CountersMap flattens the Counters snapshot into named totals (JSONL
+// export, dashboards).
+func (s *Simulator) CountersMap() map[string]int64 { return s.net.CountersMap() }
+
+// PlotTimeSeries renders the telemetry sampler's ring-buffered series as an
+// ASCII value-vs-cycle chart.
+func PlotTimeSeries(title string, tel *Telemetry) string {
+	if tel == nil || tel.Sampler == nil {
+		return title + "\n(no data)\n"
+	}
+	return plot.TimeSeries(title, tel.Sampler.MetricsSeries())
 }
 
 // Report summarizes the run as a human-readable string.

@@ -1,8 +1,9 @@
-package core
+package core_test
 
 import (
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/network"
 	"repro/internal/router"
 	"repro/internal/routing"
@@ -12,10 +13,10 @@ import (
 )
 
 func TestGraphBasics(t *testing.T) {
-	g := NewGraph()
-	a := Channel{From: 0, Port: 0}
-	b := Channel{From: 1, Port: 0}
-	c := Channel{From: 2, Port: 0}
+	g := core.NewGraph()
+	a := core.Channel{From: 0, Port: 0}
+	b := core.Channel{From: 1, Port: 0}
+	c := core.Channel{From: 2, Port: 0}
 	g.AddDep(a, b)
 	g.AddDep(b, c)
 	if g.Channels() != 3 || g.Deps() != 2 {
@@ -47,8 +48,8 @@ func TestGraphBasics(t *testing.T) {
 }
 
 func TestGraphSelfLoop(t *testing.T) {
-	g := NewGraph()
-	a := Channel{From: 0, Port: 1}
+	g := core.NewGraph()
+	a := core.Channel{From: 0, Port: 1}
 	g.AddDep(a, a)
 	if g.Acyclic() {
 		t.Fatal("self-loop reported acyclic")
@@ -56,8 +57,8 @@ func TestGraphSelfLoop(t *testing.T) {
 }
 
 func TestGraphIsolatedVertexAcyclic(t *testing.T) {
-	g := NewGraph()
-	g.AddChannel(Channel{From: 5, Port: 2})
+	g := core.NewGraph()
+	g.AddChannel(core.Channel{From: 5, Port: 2})
 	if !g.Acyclic() {
 		t.Fatal("isolated vertex graph must be acyclic")
 	}
@@ -67,7 +68,7 @@ func TestGraphIsolatedVertexAcyclic(t *testing.T) {
 
 func TestDORWithDatelinesAcyclicOnTorus(t *testing.T) {
 	for _, topo := range []topology.Topology{topology.MustTorus(4, 4), topology.MustTorus(8, 8), topology.MustTorus(3, 5)} {
-		g := BuildDORCDG(topo, true)
+		g := core.BuildDORCDG(topo, true)
 		if cycle := g.FindCycle(); cycle != nil {
 			t.Fatalf("%s: dateline DOR CDG has cycle %v", topo.Name(), cycle)
 		}
@@ -75,14 +76,14 @@ func TestDORWithDatelinesAcyclicOnTorus(t *testing.T) {
 }
 
 func TestDORWithoutDatelinesCyclicOnTorus(t *testing.T) {
-	g := BuildDORCDG(topology.MustTorus(4, 4), false)
+	g := core.BuildDORCDG(topology.MustTorus(4, 4), false)
 	if g.Acyclic() {
 		t.Fatal("plain DOR on a torus must have ring cycles")
 	}
 }
 
 func TestDORAcyclicOnMesh(t *testing.T) {
-	g := BuildDORCDG(topology.MustMesh(4, 4), false)
+	g := core.BuildDORCDG(topology.MustMesh(4, 4), false)
 	if cycle := g.FindCycle(); cycle != nil {
 		t.Fatalf("mesh DOR CDG has cycle %v", cycle)
 	}
@@ -92,7 +93,7 @@ func TestDORAcyclicOnMesh(t *testing.T) {
 // torus and mesh, so avoidance cannot certify it — recovery is required.
 func TestMinimalAdaptiveCyclic(t *testing.T) {
 	for _, topo := range []topology.Topology{topology.MustTorus(4, 4), topology.MustMesh(4, 4)} {
-		g := BuildMinimalAdaptiveCDG(topo)
+		g := core.BuildMinimalAdaptiveCDG(topo)
 		if g.Acyclic() {
 			t.Fatalf("%s: fully adaptive minimal CDG unexpectedly acyclic", topo.Name())
 		}
@@ -101,7 +102,7 @@ func TestMinimalAdaptiveCyclic(t *testing.T) {
 
 func TestMinimalAdaptiveCDGOnlyProfitableDeps(t *testing.T) {
 	topo := topology.MustTorus(4, 4)
-	g := BuildMinimalAdaptiveCDG(topo)
+	g := core.BuildMinimalAdaptiveCDG(topo)
 	// A dependency straight back along the same link (m->n then n->m) can
 	// never be profitable: any dst closer to n than m cannot be closer to m
 	// than n again.
@@ -111,8 +112,8 @@ func TestMinimalAdaptiveCDGOnlyProfitableDeps(t *testing.T) {
 			if !ok {
 				continue
 			}
-			back := Channel{From: n, Port: topology.ReversePort(p)}
-			if g.HasDep(Channel{From: topology.Node(m), Port: p}, back) {
+			back := core.Channel{From: n, Port: topology.ReversePort(p)}
+			if g.HasDep(core.Channel{From: topology.Node(m), Port: p}, back) {
 				t.Fatalf("u-turn dependency %d->%d->%d present", m, n, m)
 			}
 		}
@@ -125,7 +126,7 @@ func TestDBLaneConnected(t *testing.T) {
 		topology.MustTorus(4, 4), topology.MustTorus(8, 8),
 		topology.MustMesh(5, 3), topology.MustTorus(3, 3, 3),
 	} {
-		if err := VerifyDBLaneConnected(topo); err != nil {
+		if err := core.VerifyDBLaneConnected(topo); err != nil {
 			t.Fatalf("%s: %v", topo.Name(), err)
 		}
 	}
@@ -167,7 +168,7 @@ func TestAnalyzerFindsRealDeadlock(t *testing.T) {
 	if n.RunUntilDrained(20000) {
 		t.Skip("no deadlock formed at this seed")
 	}
-	res := AnalyzeWFG(n.Routers())
+	res := core.AnalyzeWFG(n.Routers())
 	if !res.TrueDeadlock() {
 		t.Fatalf("wedged network but analyzer found no true deadlock (blocked=%d)", len(res.Blocked))
 	}
@@ -206,7 +207,7 @@ func TestAnalyzerCleanOnAvoidance(t *testing.T) {
 			n := buildNet(t, tc.alg, tc.vcs, 0.8, 5, 0)
 			for i := 0; i < 60; i++ {
 				n.Run(50)
-				if res := AnalyzeWFG(n.Routers()); res.TrueDeadlock() {
+				if res := core.AnalyzeWFG(n.Routers()); res.TrueDeadlock() {
 					t.Fatalf("%s: true deadlock found at cycle %d: %d members",
 						tc.alg.Name(), n.Now(), len(res.Deadlocked))
 				}
@@ -219,7 +220,7 @@ func TestAnalyzerCleanOnAvoidance(t *testing.T) {
 func TestAnalyzerQuietOnIdleNetwork(t *testing.T) {
 	n := buildNet(t, routing.Disha(0), 4, 0.0, 1, 8)
 	n.Run(100)
-	res := AnalyzeWFG(n.Routers())
+	res := core.AnalyzeWFG(n.Routers())
 	if len(res.Blocked) != 0 || res.TrueDeadlock() {
 		t.Fatalf("idle network reported blocked=%d deadlocked=%d", len(res.Blocked), len(res.Deadlocked))
 	}
@@ -231,11 +232,11 @@ func TestAnalyzerQuietOnIdleNetwork(t *testing.T) {
 func TestRecoveryClearsTrueDeadlocks(t *testing.T) {
 	n := buildNet(t, routing.Disha(0), 1, 0.9, 12, 8)
 	n.Run(4000)
-	sawDeadlock := AnalyzeWFG(n.Routers()).TrueDeadlock()
+	sawDeadlock := core.AnalyzeWFG(n.Routers()).TrueDeadlock()
 	if !n.RunUntilDrained(60000) {
 		t.Fatal("recovery-enabled network failed to drain")
 	}
-	if res := AnalyzeWFG(n.Routers()); len(res.Blocked) != 0 {
+	if res := core.AnalyzeWFG(n.Routers()); len(res.Blocked) != 0 {
 		t.Fatal("drained network still has blocked headers")
 	}
 	_ = sawDeadlock // informational: deadlocks may or may not be present at the snapshot

@@ -24,7 +24,9 @@ type Token struct {
 	held   bool
 	holder *packet.Packet
 
-	seizures int64
+	seizures      int64
+	transitCycles int64 // cycles spent circulating free
+	holdCycles    int64 // cycles spent held by a recovering packet
 }
 
 // NewToken builds a token circulating topo's Hamiltonian order at the given
@@ -53,14 +55,23 @@ func (t *Token) Position() topology.Node { return t.order[t.pos] }
 // Seizures returns how many times the token has been captured.
 func (t *Token) Seizures() int64 { return t.seizures }
 
+// TransitCycles returns the cycles the token has spent circulating free.
+func (t *Token) TransitCycles() int64 { return t.transitCycles }
+
+// HoldCycles returns the cycles the token has spent held by recovering
+// packets (propagation inhibited, paper Assumption 5).
+func (t *Token) HoldCycles() int64 { return t.holdCycles }
+
 // Step advances the token: if free, it visits up to speed routers this
 // cycle and is captured by the first one holding a presumed-deadlocked
 // packet, which is immediately switched onto the Deadlock Buffer lane and
 // returned (nil when nothing was captured).
 func (t *Token) Step(routers []*router.Router, now sim.Cycle) *packet.Packet {
 	if t.held {
+		t.holdCycles++
 		return nil
 	}
+	t.transitCycles++
 	for h := 0; h < t.speed; h++ {
 		r := routers[t.order[t.pos]]
 		if port, vc, ok := r.MostStarved(); ok {

@@ -156,3 +156,12 @@ func Throughput(title string, series []metrics.Series) string {
 		Title: title, XLabel: "offered load (fraction of capacity)", YLabel: "accepted (fraction of capacity)",
 	}, series, func(p metrics.Point) float64 { return p.Throughput })
 }
+
+// TimeSeries renders telemetry sampler rings (X = simulation cycle, value
+// carried in the Latency field, as telemetry.TimeSeries.MetricsSeries
+// produces them) as a value-vs-cycle chart.
+func TimeSeries(title string, series []metrics.Series) string {
+	return Render(Config{
+		Title: title, XLabel: "cycle", YLabel: "sampled value",
+	}, series, func(p metrics.Point) float64 { return p.Latency })
+}

@@ -36,7 +36,7 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 		for _, tr := range xfers {
 			Commit(tr, b)
 		}
-		r.TickTimers(nil)
+		r.TickTimers()
 		return xfers
 	}
 
@@ -138,7 +138,7 @@ func TestPBPLendsStalledConnection(t *testing.T) {
 		for _, tr := range xfers {
 			Commit(tr, b)
 		}
-		r.TickTimers(nil)
+		r.TickTimers()
 		if i == 1 && !sentB {
 			t.Fatal("stalled connection did not lend the link to packet B")
 		}

@@ -388,10 +388,14 @@ func (r *Router) applyHeaderHop(p *packet.Packet, outPort int) {
 
 // TickTimers advances T_elapsed for blocked headers (paper Section 3.1) and
 // clears the per-cycle sent markers. It returns the number of headers that
-// newly crossed T_out this cycle; onTimeout, if non-nil, receives each
-// newly presumed packet (tracing).
-func (r *Router) TickTimers(onTimeout func(*packet.Packet)) int {
+// newly crossed T_out this cycle; the observer installed with SetOnTimeout,
+// if any, receives each newly presumed packet (tracing, flight recorder).
+// As a side effect it refreshes the router's telemetry instrumentation
+// (BlockedHeaders, PresumedHeaders, per-VC blocked-cycle counters) — the
+// loop already touches every input VC, so the extra cost is a few adds.
+func (r *Router) TickTimers() int {
 	newly := 0
+	blocked, presumed := 0, 0
 	deg := r.topo.Degree()
 	tout := r.cfg.Timeout
 	if r.cfg.AdaptiveTimeout {
@@ -439,6 +443,12 @@ func (r *Router) TickTimers(onTimeout func(*packet.Packet)) int {
 				continue
 			}
 			ivc.waiting++
+			blocked++
+			r.stats.BlockedCycles++
+			r.blockedByVC[v]++
+			if ivc.presumed {
+				presumed++
+			}
 			if tout > 0 && ivc.waiting > tout && !ivc.presumed {
 				// Headers still at the injection port hold no network
 				// channels, so they cannot be deadlock members; they are
@@ -452,15 +462,18 @@ func (r *Router) TickTimers(onTimeout func(*packet.Packet)) int {
 					}
 				}
 				ivc.presumed = true
+				presumed++
 				head.Pkt.TimedOut = true
 				r.stats.TimeoutEvents++
 				newly++
-				if onTimeout != nil {
-					onTimeout(head.Pkt)
+				if r.onTimeout != nil {
+					r.onTimeout(head.Pkt)
 				}
 			}
 		}
 	}
+	r.lastBlocked = blocked
+	r.lastPresumed = presumed
 	return newly
 }
 

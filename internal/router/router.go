@@ -101,6 +101,7 @@ type Stats struct {
 	FlitsEjected    int64 // flits consumed by the local reception channel(s)
 	DBFlitsCarried  int64 // flits that transited this router's Deadlock Buffer
 	Preemptions     int64 // packet-by-packet crossbar preemptions by the DB
+	BlockedCycles   int64 // header-cycles spent blocked (sum of T_elapsed ticks)
 }
 
 // Router is one network node's switch.
@@ -144,6 +145,18 @@ type Router struct {
 
 	candBuf []routing.Candidate
 	stats   Stats
+
+	// Telemetry instrumentation, maintained by TickTimers (which already
+	// visits every input VC each cycle, so this costs almost nothing):
+	// cumulative blocked cycles keyed by VC index, and the most recent
+	// cycle's blocked/presumed header counts.
+	blockedByVC  []int64
+	lastBlocked  int
+	lastPresumed int
+
+	// onTimeout, when set via SetOnTimeout, observes every newly presumed
+	// header (tracing, telemetry flight recorder).
+	onTimeout func(*packet.Packet)
 }
 
 // New constructs a router for node. The caller wires neighbors with Connect
@@ -188,6 +201,11 @@ func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Alg
 	}
 	r.hamNextPort, r.hamPrevPort = -1, -1
 	r.effTout = cfg.Timeout
+	maxVCs := cfg.VCs
+	if cfg.InjectionVCs > maxVCs {
+		maxVCs = cfg.InjectionVCs
+	}
+	r.blockedByVC = make([]int64, maxVCs)
 	return r
 }
 
@@ -229,6 +247,28 @@ func (r *Router) NodeID() topology.Node { return r.node }
 
 // Stats returns a copy of the router's event counters.
 func (r *Router) Stats() Stats { return r.stats }
+
+// SetOnTimeout installs the observer invoked for every header newly
+// presumed deadlocked at this router (nil detaches). The network wires it
+// when tracing or telemetry is attached; routers never call it otherwise.
+func (r *Router) SetOnTimeout(fn func(*packet.Packet)) { r.onTimeout = fn }
+
+// BlockedHeaders returns how many headers failed to advance during the most
+// recent TickTimers pass (a live congestion gauge).
+func (r *Router) BlockedHeaders() int { return r.lastBlocked }
+
+// PresumedHeaders returns how many headers were in the presumed-deadlocked
+// state during the most recent TickTimers pass.
+func (r *Router) PresumedHeaders() int { return r.lastPresumed }
+
+// BlockedCyclesVC returns the cumulative header-blocked cycles charged to
+// the given VC index (summed over all input ports).
+func (r *Router) BlockedCyclesVC(vc int) int64 {
+	if vc < 0 || vc >= len(r.blockedByVC) {
+		return 0
+	}
+	return r.blockedByVC[vc]
+}
 
 // --- routing.View -----------------------------------------------------------
 

@@ -66,7 +66,7 @@ func (b *testBench) step() {
 		Commit(t, b)
 	}
 	for _, r := range b.routers {
-		r.TickTimers(nil)
+		r.TickTimers()
 	}
 }
 

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler exposing the registry's last published
+// snapshot at /metrics and the standard pprof profiles under /debug/pprof/.
+// The handler itself never touches live simulation state, so it is safe to
+// serve from any goroutine while the simulation runs — the simulation
+// thread refreshes the snapshot via Registry.Publish.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		body := reg.Published()
+		if body == nil {
+			// Before the first publish: nothing sampled yet.
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.Write(body)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler(reg) in a background goroutine.
+// It returns the bound listener address (useful with ":0") and a shutdown
+// function.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() error { return srv.Close() }, nil
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+// Options configures a Hub. The zero value enables sampling every 100
+// cycles with a 64-frame flight recorder and no JSONL output.
+type Options struct {
+	// SampleEvery is the gauge sampling period in cycles (default 100).
+	// Negative disables sampling entirely.
+	SampleEvery int
+	// SeriesDepth is the per-probe time-series ring capacity (default 512).
+	SeriesDepth int
+	// FlightDepth is how many cycles of per-router frames the flight
+	// recorder retains (default 64). Negative disables the recorder.
+	FlightDepth int
+	// SnapshotCooldown is the minimum number of cycles between two
+	// flight-recorder dumps (default 500).
+	SnapshotCooldown int64
+	// MaxSnapshots bounds retained (and written) dumps per run (default 16).
+	MaxSnapshots int
+	// Writer, when set, streams samples, snapshots and (if the caller tees
+	// the trace buffer into it) events as JSON Lines.
+	Writer *JSONLWriter
+}
+
+func (o *Options) normalize() {
+	if o.SampleEvery == 0 {
+		o.SampleEvery = 100
+	}
+	if o.SeriesDepth == 0 {
+		o.SeriesDepth = 512
+	}
+	if o.FlightDepth == 0 {
+		o.FlightDepth = 64
+	}
+	if o.SnapshotCooldown == 0 {
+		o.SnapshotCooldown = 500
+	}
+	if o.MaxSnapshots == 0 {
+		o.MaxSnapshots = 16
+	}
+}
+
+// Hub bundles one simulation's telemetry: the metric registry, the cycle
+// sampler (nil when disabled), the flight recorder (nil when disabled) and
+// the optional JSONL writer. The network drives it once per cycle.
+type Hub struct {
+	Registry *Registry
+	Sampler  *Sampler
+	Recorder *FlightRecorder
+	Writer   *JSONLWriter
+
+	// Pending snapshot trigger (set on deadlock presumption, consumed by
+	// the network's telemetry tick at the end of the same cycle).
+	trigArmed bool
+	trigNode  int
+	trigPkt   int64
+}
+
+// NewHub builds the telemetry bundle for one simulation.
+func NewHub(o Options) *Hub {
+	o.normalize()
+	h := &Hub{Registry: NewRegistry(), Writer: o.Writer}
+	if o.SampleEvery > 0 {
+		h.Sampler = NewSampler(int64(o.SampleEvery), o.SeriesDepth)
+		if o.Writer != nil {
+			h.Sampler.Emit = o.Writer.Sample
+		}
+	}
+	if o.FlightDepth > 0 {
+		h.Recorder = NewFlightRecorder(o.FlightDepth, o.SnapshotCooldown, o.MaxSnapshots)
+	}
+	return h
+}
+
+// NoteTimeout arms the snapshot trigger for this cycle's deadlock
+// presumption. The first presumption of a cycle wins.
+func (h *Hub) NoteTimeout(node int, pkt int64) {
+	if h.trigArmed {
+		return
+	}
+	h.trigArmed = true
+	h.trigNode = node
+	h.trigPkt = pkt
+}
+
+// TakeTrigger consumes the pending snapshot trigger, if any.
+func (h *Hub) TakeTrigger() (node int, pkt int64, ok bool) {
+	if !h.trigArmed {
+		return 0, 0, false
+	}
+	h.trigArmed = false
+	return h.trigNode, h.trigPkt, true
+}

@@ -54,12 +54,16 @@ func (e Event) String() string {
 	return fmt.Sprintf("[%6d] %-13s node=%-4d pkt=%d", e.Cycle, e.Kind, e.Node, e.Pkt)
 }
 
-// Buffer is a fixed-capacity event ring. The zero value is unusable; use New.
+// Buffer is a fixed-capacity event ring. The zero value is unusable; use
+// New. All methods are safe on a nil *Buffer (reads return zero values,
+// Record is a no-op), so instrumentation call sites never need their own
+// tracing-enabled checks.
 type Buffer struct {
 	events []Event
 	next   int
 	total  int64
 	counts map[Kind]int64
+	sink   func(Event)
 }
 
 // New returns a ring buffer keeping the most recent capacity events.
@@ -70,8 +74,21 @@ func New(capacity int) *Buffer {
 	return &Buffer{events: make([]Event, 0, capacity), counts: make(map[Kind]int64)}
 }
 
-// Record appends an event, evicting the oldest when full.
+// SetSink installs a callback that observes every recorded event as it
+// happens (nil detaches). The ring only retains the most recent events;
+// a sink sees them all — the JSONL trace export streams through it.
+func (b *Buffer) SetSink(fn func(Event)) {
+	if b == nil {
+		return
+	}
+	b.sink = fn
+}
+
+// Record appends an event, evicting the oldest when full. No-op on nil.
 func (b *Buffer) Record(e Event) {
+	if b == nil {
+		return
+	}
 	if len(b.events) < cap(b.events) {
 		b.events = append(b.events, e)
 	} else {
@@ -80,16 +97,32 @@ func (b *Buffer) Record(e Event) {
 	}
 	b.total++
 	b.counts[e.Kind]++
+	if b.sink != nil {
+		b.sink(e)
+	}
 }
 
 // Total returns how many events were ever recorded (including evicted).
-func (b *Buffer) Total() int64 { return b.total }
+func (b *Buffer) Total() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.total
+}
 
 // Count returns how many events of kind were ever recorded.
-func (b *Buffer) Count(k Kind) int64 { return b.counts[k] }
+func (b *Buffer) Count(k Kind) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.counts[k]
+}
 
 // Events returns the retained events oldest-first.
 func (b *Buffer) Events() []Event {
+	if b == nil {
+		return nil
+	}
 	out := make([]Event, 0, len(b.events))
 	if len(b.events) == cap(b.events) {
 		out = append(out, b.events[b.next:]...)
