@@ -1,0 +1,65 @@
+// Command disha-serve runs the sweep job server: an HTTP API that accepts
+// experiment specifications, executes them through the deterministic
+// parallel engine, and serves status and results.
+//
+//	disha-serve -addr :8080
+//
+//	# submit Figure 4 at small scale, 3 replicas per point
+//	curl -s localhost:8080/jobs -d '{"figure":"4","scale":"small","replicas":3}'
+//
+//	# watch it run (one NDJSON status line per tick)
+//	curl -Ns 'localhost:8080/jobs/job-0001?watch=1'
+//
+//	# fetch the finished curves
+//	curl -s localhost:8080/jobs/job-0001/result.csv
+//	curl -s localhost:8080/jobs/job-0001/result.json
+//
+//	# engine progress + server totals (Prometheus text format)
+//	curl -s localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobserver"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "listen address")
+		queue = flag.Int("queue", 64, "maximum queued (not yet running) jobs")
+	)
+	flag.Parse()
+
+	srv := jobserver.New(*queue)
+	defer srv.Close()
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "disha-serve: listening on %s (POST /jobs, GET /jobs/{id}, GET /metrics)\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "disha-serve:", err)
+			os.Exit(1)
+		}
+	case <-sig:
+		// Let in-flight responses finish; queued sweeps die with the server
+		// (clients resubmit — submissions are deterministic).
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(ctx)
+	}
+}

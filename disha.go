@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/network"
@@ -413,6 +414,33 @@ func Figure(name string, sc ExperimentScale) *Experiment {
 
 // Figures returns all canned figure specs keyed by short name.
 func Figures(sc ExperimentScale) map[string]*Experiment { return harness.Figures(sc) }
+
+// --- Experiment engine -------------------------------------------------------------------
+
+// SweepOptions controls how the deterministic parallel experiment engine
+// executes an Experiment: worker count, per-point replicas, retries,
+// checkpoint journal and progress reporting. Run an Experiment with them via
+// Experiment.RunWith; results are bit-identical for every Parallel value.
+type SweepOptions = harness.RunOptions
+
+// SweepReport summarizes an engine run: completed/failed points, journal
+// restores, retries and wall time.
+type SweepReport = engine.Report
+
+// SweepStatus is the engine's live progress snapshot (done/total, ETA).
+type SweepStatus = engine.Status
+
+// EngineMetrics exports engine progress through a telemetry registry.
+type EngineMetrics = engine.Metrics
+
+// NewEngineMetrics registers the engine progress metrics (jobs done/total,
+// ETA, retries) on a telemetry registry. Serve them with telemetry.Serve or
+// the /metrics endpoint of disha-serve.
+func NewEngineMetrics(reg *telemetry.Registry) *EngineMetrics { return engine.NewMetrics(reg) }
+
+// SweepSeedFor derives the deterministic per-job seed the engine assigns to
+// a job identity under a base seed (exposed for tooling and tests).
+func SweepSeedFor(base uint64, key string) uint64 { return engine.SeedFor(base, key) }
 
 // PlotLatency renders an experiment's latency-vs-load curves as an ASCII
 // chart (log y axis).

@@ -1,0 +1,336 @@
+// Package engine is the deterministic parallel experiment engine: it fans a
+// batch of independent jobs (one simulation point each, typically) out
+// across a worker pool while keeping results bit-identical to a serial run.
+//
+// Determinism rests on two rules. First, a job's random seed is derived only
+// from the engine's base seed and the job's identity key (SeedFor), never
+// from the worker that picked it up or the order jobs finish in. Second, the
+// engine returns results keyed by job identity and the caller assembles them
+// in its own fixed order, so completion order is invisible downstream.
+// Together they make `Workers: 1` and `Workers: 64` produce the same bytes.
+//
+// Around that core the engine provides the operational features a long
+// sweep needs: panic isolation with per-job retries and a failed-jobs
+// report, a JSONL checkpoint journal so a killed sweep resumes where it left
+// off, and live progress (done/total, ETA) exported through an
+// internal/telemetry registry.
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job is one unit of work: an identity key and a function that computes the
+// result from the job's derived seed. Run must be self-contained — it may
+// not share mutable state with other jobs, because jobs execute concurrently.
+type Job[T any] struct {
+	// Key uniquely identifies the job within the batch (e.g.
+	// "fig4-uniform/disha-m3@0.60#2"). It keys the seed derivation, the
+	// checkpoint journal and the result map.
+	Key string
+	// Run computes the job's result. It is retried on error or panic.
+	Run func(seed uint64) (T, error)
+}
+
+// Status is a progress snapshot passed to the OnDone callback and exported
+// through telemetry.
+type Status struct {
+	Total       int // jobs in the batch
+	Done        int // completed successfully (including journal restores)
+	FromJournal int // of Done, restored from the resume journal
+	Failed      int // exhausted their retries
+	Retried     int // extra attempts spent across all jobs
+	Elapsed     time.Duration
+	// ETA estimates the remaining wall time from the live (non-restored)
+	// completion rate; zero until the first live job completes.
+	ETA time.Duration
+}
+
+// JobResult describes one settled job (success, restore or failure).
+type JobResult[T any] struct {
+	Key         string
+	Seed        uint64
+	Value       T
+	Err         string // "" on success
+	Attempts    int
+	Elapsed     time.Duration
+	FromJournal bool
+}
+
+// Failure is one job that exhausted its retries.
+type Failure struct {
+	Key      string
+	Err      string
+	Attempts int
+}
+
+// Report summarizes a finished batch.
+type Report struct {
+	Total       int
+	Completed   int // successful jobs, journal restores included
+	FromJournal int
+	Retried     int
+	Failures    []Failure // in batch order
+	Elapsed     time.Duration
+	Workers     int
+}
+
+// Failed returns the number of jobs that did not complete.
+func (r *Report) Failed() int { return len(r.Failures) }
+
+// String renders the one-line summary CLIs print after a sweep.
+func (r *Report) String() string {
+	s := fmt.Sprintf("%d/%d jobs completed in %v (%d workers", r.Completed, r.Total,
+		r.Elapsed.Round(time.Millisecond), r.Workers)
+	if r.FromJournal > 0 {
+		s += fmt.Sprintf(", %d restored from journal", r.FromJournal)
+	}
+	if r.Retried > 0 {
+		s += fmt.Sprintf(", %d retries", r.Retried)
+	}
+	s += ")"
+	if len(r.Failures) > 0 {
+		s += fmt.Sprintf("; %d FAILED", len(r.Failures))
+	}
+	return s
+}
+
+// Config controls one engine run.
+type Config[T any] struct {
+	// Workers is the worker-pool size; 0 or negative means GOMAXPROCS.
+	Workers int
+	// Seed is the base seed every job seed is derived from (SeedFor).
+	Seed uint64
+	// Retries is how many additional attempts a failing job gets (0 = one
+	// attempt total). Panics count as failures and are isolated per job.
+	Retries int
+	// Journal, when non-empty, is the JSONL checkpoint file completed jobs
+	// are appended to. With Resume false an existing file is truncated.
+	Journal string
+	// Resume replays the journal before running: jobs already recorded are
+	// served from the journal and not re-executed.
+	Resume bool
+	// Metrics, when non-nil, receives live progress (jobs done/total, ETA)
+	// on the telemetry registry it was built from.
+	Metrics *Metrics
+	// OnDone, when non-nil, is called after every settled job (success,
+	// journal restore or final failure), always from the calling goroutine.
+	OnDone func(Status, JobResult[T])
+}
+
+// outcome travels from a worker to the collector.
+type outcome[T any] struct {
+	index    int
+	seed     uint64
+	value    T
+	err      string
+	attempts int
+	elapsed  time.Duration
+}
+
+// Run executes the batch and returns the results of all successful jobs
+// keyed by job key, plus a report of failures and journal restores. The
+// returned error covers setup problems (duplicate keys, unreadable journal);
+// job failures are reported, not returned, so callers can use partial
+// results. Callbacks and metrics updates happen on the calling goroutine.
+func Run[T any](cfg Config[T], jobs []Job[T]) (map[string]T, *Report, error) {
+	start := time.Now()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) && len(jobs) > 0 {
+		workers = len(jobs)
+	}
+
+	seen := make(map[string]struct{}, len(jobs))
+	for _, j := range jobs {
+		if j.Key == "" || j.Run == nil {
+			return nil, nil, fmt.Errorf("engine: job with empty key or nil run")
+		}
+		if _, dup := seen[j.Key]; dup {
+			return nil, nil, fmt.Errorf("engine: duplicate job key %q", j.Key)
+		}
+		seen[j.Key] = struct{}{}
+	}
+
+	restored := map[string]journalRecord{}
+	if cfg.Resume && cfg.Journal != "" {
+		var err error
+		if restored, err = readJournal(cfg.Journal); err != nil {
+			return nil, nil, err
+		}
+	}
+	var journal *journalWriter
+	if cfg.Journal != "" {
+		var err error
+		if journal, err = openJournal(cfg.Journal, cfg.Resume); err != nil {
+			return nil, nil, err
+		}
+		defer journal.close()
+	}
+
+	results := make(map[string]T, len(jobs))
+	report := &Report{Total: len(jobs), Workers: workers}
+	st := Status{Total: len(jobs)}
+	if cfg.Metrics != nil {
+		cfg.Metrics.beginRun(len(jobs))
+	}
+	settle := func(res JobResult[T]) {
+		st.Elapsed = time.Since(start)
+		live := st.Done - st.FromJournal
+		if remaining := st.Total - st.Done - st.Failed; live > 0 && remaining > 0 {
+			st.ETA = time.Duration(float64(st.Elapsed) / float64(live) * float64(remaining))
+		} else {
+			st.ETA = 0
+		}
+		if cfg.Metrics != nil {
+			cfg.Metrics.observe(st, res.Err != "", res.FromJournal, res.Attempts-1)
+		}
+		if cfg.OnDone != nil {
+			cfg.OnDone(st, res)
+		}
+	}
+
+	// Serve journal restores first, in batch order, so resumed runs report
+	// progress deterministically before live work starts.
+	pending := make([]int, 0, len(jobs))
+	for i, j := range jobs {
+		rec, ok := restored[j.Key]
+		if ok {
+			var v T
+			if err := json.Unmarshal(rec.Value, &v); err == nil {
+				results[j.Key] = v
+				st.Done++
+				st.FromJournal++
+				report.Completed++
+				report.FromJournal++
+				settle(JobResult[T]{
+					Key: j.Key, Seed: rec.Seed, Value: v,
+					Attempts: rec.Attempts, FromJournal: true,
+				})
+				continue
+			}
+			// Undecodable record (type changed, torn write): recompute.
+		}
+		pending = append(pending, i)
+	}
+
+	// Fan the remaining jobs out. Workers only compute; every mutation of
+	// results, journal, metrics and callbacks happens here on the collector
+	// side, in completion order, which the deterministic seed derivation
+	// makes harmless.
+	jobCh := make(chan int)
+	outCh := make(chan outcome[T], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobCh {
+				job := jobs[i]
+				seed := SeedFor(cfg.Seed, job.Key)
+				jobStart := time.Now()
+				var (
+					v        T
+					errMsg   string
+					attempts int
+				)
+				for attempts = 1; ; attempts++ {
+					var err error
+					v, err = runIsolated(job, seed)
+					if err == nil {
+						errMsg = ""
+						break
+					}
+					errMsg = err.Error()
+					if attempts > cfg.Retries {
+						break
+					}
+				}
+				outCh <- outcome[T]{
+					index: i, seed: seed, value: v, err: errMsg,
+					attempts: attempts, elapsed: time.Since(jobStart),
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, i := range pending {
+			jobCh <- i
+		}
+		close(jobCh)
+	}()
+
+	failures := make(map[int]Failure)
+	for range pending {
+		o := <-outCh
+		key := jobs[o.index].Key
+		st.Retried += o.attempts - 1
+		report.Retried += o.attempts - 1
+		if o.err != "" {
+			st.Failed++
+			failures[o.index] = Failure{Key: key, Err: o.err, Attempts: o.attempts}
+			settle(JobResult[T]{
+				Key: key, Seed: o.seed, Err: o.err,
+				Attempts: o.attempts, Elapsed: o.elapsed,
+			})
+			continue
+		}
+		results[key] = o.value
+		st.Done++
+		report.Completed++
+		if journal != nil {
+			raw, err := json.Marshal(o.value)
+			if err == nil {
+				err = journal.append(journalRecord{
+					Key: key, Seed: o.seed, Attempts: o.attempts,
+					ElapsedMS: float64(o.elapsed) / float64(time.Millisecond),
+					Value:     raw,
+				})
+			}
+			if err != nil {
+				// A dead journal must not kill the sweep; surface it as a
+				// (checkpointing) failure in the report instead.
+				failures[-1-o.index] = Failure{Key: key + " (journal)", Err: err.Error(), Attempts: o.attempts}
+			}
+		}
+		settle(JobResult[T]{
+			Key: key, Seed: o.seed, Value: o.value,
+			Attempts: o.attempts, Elapsed: o.elapsed,
+		})
+	}
+	wg.Wait()
+
+	// Failures in deterministic batch order, not completion order.
+	idxs := make([]int, 0, len(failures))
+	for i := range failures {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		report.Failures = append(report.Failures, failures[i])
+	}
+	report.Elapsed = time.Since(start)
+	if cfg.Metrics != nil {
+		cfg.Metrics.endRun(st)
+	}
+	return results, report, nil
+}
+
+// runIsolated invokes the job, converting a panic into an error so one bad
+// simulation point cannot take down the whole sweep.
+func runIsolated[T any](job Job[T], seed uint64) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return job.Run(seed)
+}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// The checkpoint journal is a JSON-Lines file of completed job results. The
+// engine appends one record per success, flushing per line so that a killed
+// sweep loses at most the job in flight; on resume it replays the journal,
+// skips every recorded job and serves the recorded values instead. Records
+// whose key matches no current job are ignored, torn trailing lines (from a
+// kill mid-write) are skipped, and a later record for the same key wins, so
+// a journal may be reused across retries of the same sweep.
+
+// journalRecord is one completed job, as stored on disk.
+type journalRecord struct {
+	Key       string          `json:"key"`
+	Seed      uint64          `json:"seed"`
+	Attempts  int             `json:"attempts"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Value     json.RawMessage `json:"value"`
+}
+
+// readJournal loads every well-formed record from path, last record per key
+// winning. A missing file is not an error (resume of a sweep that never
+// started is an empty journal).
+func readJournal(path string) (map[string]journalRecord, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]journalRecord{}, nil
+		}
+		return nil, fmt.Errorf("engine: open journal: %w", err)
+	}
+	defer f.Close()
+	out := make(map[string]journalRecord)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" || rec.Value == nil {
+			continue // torn or foreign line; recompute that job instead
+		}
+		out[rec.Key] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("engine: read journal: %w", err)
+	}
+	return out, nil
+}
+
+// journalWriter appends records to the journal file, one flushed line each.
+type journalWriter struct {
+	f *os.File
+}
+
+// openJournal opens path for appending (creating it if needed). With resume
+// false any existing content is truncated first — a fresh run must not
+// inherit another sweep's checkpoints.
+func openJournal(path string, resume bool) (*journalWriter, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open journal: %w", err)
+	}
+	return &journalWriter{f: f}, nil
+}
+
+// append writes one record and flushes it to the OS.
+func (w *journalWriter) append(rec journalRecord) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("engine: encode journal record: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := w.f.Write(line); err != nil {
+		return fmt.Errorf("engine: write journal: %w", err)
+	}
+	return nil
+}
+
+func (w *journalWriter) close() error { return w.f.Close() }

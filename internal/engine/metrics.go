@@ -1,0 +1,117 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Metrics exports engine progress through an internal/telemetry registry:
+// jobs done/failed/retried, batch totals, elapsed time and the ETA estimate.
+// Unlike the simulator's telemetry (which is strictly single-goroutine, see
+// package telemetry), engine progress is inherently concurrent with whatever
+// else updates the registry — an HTTP server's own metrics, for example — so
+// all writes and every Publish go through one mutex owned here. Other
+// writers to the same registry must either share this mutex via Locked or
+// register pull-style metrics over atomic values, which are safe to render
+// from any goroutine.
+type Metrics struct {
+	mu  sync.Mutex
+	reg *telemetry.Registry
+
+	runsStarted  *telemetry.Counter
+	runsFinished *telemetry.Counter
+	jobsDone     *telemetry.Counter
+	jobsFailed   *telemetry.Counter
+	jobsRetried  *telemetry.Counter
+	jobsRestored *telemetry.Counter
+
+	jobsTotal      *telemetry.Gauge
+	jobsRemaining  *telemetry.Gauge
+	etaSeconds     *telemetry.Gauge
+	elapsedSeconds *telemetry.Gauge
+	running        *telemetry.Gauge
+}
+
+// NewMetrics registers the engine metric families on reg. Call once per
+// registry; the returned Metrics may be shared by any number of sequential
+// or concurrent engine runs (counters accumulate across runs, gauges track
+// the most recent update).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	return &Metrics{
+		reg:            reg,
+		runsStarted:    reg.Counter("engine_runs_started_total", "engine batches started", nil),
+		runsFinished:   reg.Counter("engine_runs_finished_total", "engine batches finished", nil),
+		jobsDone:       reg.Counter("engine_jobs_done_total", "jobs completed successfully", nil),
+		jobsFailed:     reg.Counter("engine_jobs_failed_total", "jobs that exhausted their retries", nil),
+		jobsRetried:    reg.Counter("engine_jobs_retried_total", "extra attempts spent on failing jobs", nil),
+		jobsRestored:   reg.Counter("engine_jobs_restored_total", "jobs served from a resume journal", nil),
+		jobsTotal:      reg.Gauge("engine_jobs_total", "jobs in the current batch", nil),
+		jobsRemaining:  reg.Gauge("engine_jobs_remaining", "jobs not yet settled in the current batch", nil),
+		etaSeconds:     reg.Gauge("engine_eta_seconds", "estimated remaining wall time of the current batch", nil),
+		elapsedSeconds: reg.Gauge("engine_elapsed_seconds", "wall time spent on the current batch", nil),
+		running:        reg.Gauge("engine_running", "1 while a batch is in flight", nil),
+	}
+}
+
+// Registry returns the registry the metrics publish into.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// Locked runs fn while holding the metrics mutex, letting co-tenants of the
+// registry (push-style gauges of an embedding server, say) mutate and
+// publish without racing the engine.
+func (m *Metrics) Locked(fn func(reg *telemetry.Registry)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fn(m.reg)
+}
+
+// Publish renders the registry snapshot for HTTP exposition.
+func (m *Metrics) Publish() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reg.Publish()
+}
+
+func (m *Metrics) beginRun(total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runsStarted.Inc()
+	m.jobsTotal.Set(float64(total))
+	m.jobsRemaining.Set(float64(total))
+	m.etaSeconds.Set(0)
+	m.elapsedSeconds.Set(0)
+	m.running.Set(1)
+	m.reg.Publish()
+}
+
+func (m *Metrics) observe(st Status, failed, fromJournal bool, retries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case failed:
+		m.jobsFailed.Inc()
+	case fromJournal:
+		m.jobsDone.Inc()
+		m.jobsRestored.Inc()
+	default:
+		m.jobsDone.Inc()
+	}
+	if retries > 0 {
+		m.jobsRetried.Add(int64(retries))
+	}
+	m.jobsRemaining.Set(float64(st.Total - st.Done - st.Failed))
+	m.etaSeconds.Set(st.ETA.Seconds())
+	m.elapsedSeconds.Set(st.Elapsed.Seconds())
+	m.reg.Publish()
+}
+
+func (m *Metrics) endRun(st Status) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.runsFinished.Inc()
+	m.running.Set(0)
+	m.etaSeconds.Set(0)
+	m.elapsedSeconds.Set(st.Elapsed.Seconds())
+	m.reg.Publish()
+}

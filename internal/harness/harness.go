@@ -7,11 +7,11 @@ package harness
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/packet"
@@ -72,24 +72,32 @@ type Spec struct {
 	// Batches splits the measurement window for batch-means confidence
 	// intervals on the latency estimate (default 5; 1 disables).
 	Batches int
+	// Replicas runs every (algorithm, load) point this many times with
+	// independent seeds and aggregates the replicas into mean ± 95% CI
+	// (default 1). RunOptions.Replicas overrides it.
+	Replicas int
 }
 
-// PointResult is the measurement of one (algorithm, load) pair.
+// PointResult is the measurement of one (algorithm, load) pair. With
+// replication it is the across-replica aggregate: means ± 95% CI for the
+// rate metrics, sums for the event counters.
 type PointResult struct {
 	Load           float64
 	MeanLatency    float64 // creation -> delivery, cycles
-	LatencyCI95    float64 // batch-means 95% confidence halfwidth on MeanLatency
+	LatencyCI95    float64 // 95% CI halfwidth on MeanLatency: batch-means for a single run, across replicas otherwise
 	MeanNetLatency float64 // injection -> delivery, cycles
 	P95Latency     float64
 	Delivered      int64
 	Offered        int64
 	Throughput     float64 // normalized accepted traffic, fraction of capacity
+	ThroughputCI95 float64 // across-replica 95% CI halfwidth (0 for a single run)
 	TokenSeizures  int64   // during measurement
 	SeizureRatio   float64 // seizures / delivered (Figure 3a's y-axis)
 	TimeoutEvents  int64
 	TrueDeadlocks  int64 // WFG-sampled deadlocked configurations (if enabled)
 	WFGSamples     int64
 	MisrouteHops   int64
+	Replicas       int // independent runs aggregated into this point (>= 1)
 }
 
 // Result bundles an experiment's curves.
@@ -99,20 +107,143 @@ type Result struct {
 	Points map[string][]PointResult // keyed by curve label
 }
 
-// Run executes the experiment. progress, if non-nil, receives one line per
-// completed point.
+// RunOptions controls how the experiment engine executes a Spec.
+type RunOptions struct {
+	// Parallel is the worker count; 0 means GOMAXPROCS, 1 forces a serial
+	// run. Thanks to identity-keyed seeding the results are bit-identical
+	// for every value.
+	Parallel int
+	// Replicas overrides Spec.Replicas when positive.
+	Replicas int
+	// Retries is how many extra attempts a failing point gets.
+	Retries int
+	// Journal, when non-empty, checkpoints completed points to this JSONL
+	// file; Resume replays it so a killed sweep restarts where it left off.
+	Journal string
+	Resume  bool
+	// Progress, if non-nil, receives one line per settled point.
+	Progress func(string)
+	// Status, if non-nil, receives the engine's structured progress
+	// (done/total, ETA) after every settled point.
+	Status func(engine.Status)
+	// Metrics, if non-nil, exports live progress through its telemetry
+	// registry (see engine.NewMetrics).
+	Metrics *engine.Metrics
+}
+
+// Run executes the experiment across all available cores. progress, if
+// non-nil, receives one line per completed point (in completion order; the
+// results themselves are deterministic regardless of parallelism).
 func (s *Spec) Run(progress func(string)) (*Result, error) {
+	res, _, err := s.RunWith(RunOptions{Progress: progress})
+	return res, err
+}
+
+// pointJob identifies one engine job of this spec.
+type pointJob struct {
+	alg     AlgSpec
+	load    float64
+	replica int
+}
+
+// RunWith executes the experiment through the engine. On point failures it
+// returns the partial Result (every fully-replicated point that did
+// complete), the engine report naming the failed jobs, and a non-nil error.
+func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 	if err := s.normalize(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	replicas := opts.Replicas
+	if replicas <= 0 {
+		replicas = s.Replicas
+	}
+	if replicas <= 0 {
+		replicas = 1
+	}
+
+	// The job key pins the full identity of a point — spec configuration
+	// included, so a journal cannot leak results across different scales or
+	// seeds of the same figure — and via engine.SeedFor it also pins the
+	// point's random stream.
+	cfgTag := fmt.Sprintf("%s|seed=%x|w=%d|m=%d|msg=%d|vc=%d|bd=%d",
+		s.Name, s.Seed, s.Warmup, s.Measure, s.MsgLen, s.VCs, s.BufferDepth)
+	meta := make(map[string]pointJob)
+	var jobs []engine.Job[PointResult]
+	for _, alg := range s.Algs {
+		alg := alg
+		for _, load := range s.Loads {
+			load := load
+			for r := 0; r < replicas; r++ {
+				key := fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, alg.label(), load, r)
+				meta[key] = pointJob{alg: alg, load: load, replica: r}
+				jobs = append(jobs, engine.Job[PointResult]{
+					Key: key,
+					Run: func(seed uint64) (PointResult, error) {
+						return s.runPoint(alg, load, seed)
+					},
+				})
+			}
+		}
+	}
+
+	results, report, err := engine.Run(engine.Config[PointResult]{
+		Workers: opts.Parallel,
+		Seed:    s.Seed,
+		Retries: opts.Retries,
+		Journal: opts.Journal,
+		Resume:  opts.Resume,
+		Metrics: opts.Metrics,
+		OnDone: func(st engine.Status, jr engine.JobResult[PointResult]) {
+			if opts.Progress != nil {
+				pj := meta[jr.Key]
+				line := fmt.Sprintf("[%3d/%3d] %-22s load=%.2f", st.Done+st.Failed, st.Total, pj.alg.label(), pj.load)
+				if replicas > 1 {
+					line += fmt.Sprintf(" rep=%d", pj.replica)
+				}
+				switch {
+				case jr.Err != "":
+					line += " FAILED: " + firstLine(jr.Err)
+				case jr.FromJournal:
+					line += " (from journal)"
+				default:
+					line += fmt.Sprintf(" latency=%8.1f thpt=%.3f seiz=%d",
+						jr.Value.MeanLatency, jr.Value.Throughput, jr.Value.TokenSeizures)
+				}
+				if st.ETA > 0 {
+					line += fmt.Sprintf(" eta=%s", st.ETA.Round(1e9))
+				}
+				opts.Progress(line)
+			}
+			if opts.Status != nil {
+				opts.Status(st)
+			}
+		},
+	}, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Assemble in spec order — never completion order — so parallel runs
+	// render byte-identical tables and CSV.
 	res := &Result{Spec: s, Points: make(map[string][]PointResult)}
 	for _, alg := range s.Algs {
 		series := metrics.Series{Label: alg.label()}
 		for _, load := range s.Loads {
-			pr, err := s.runPoint(alg, load)
-			if err != nil {
-				return nil, fmt.Errorf("%s @%.2f: %w", alg.label(), load, err)
+			reps := make([]PointResult, 0, replicas)
+			complete := true
+			for r := 0; r < replicas; r++ {
+				key := fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, alg.label(), load, r)
+				pr, ok := results[key]
+				if !ok {
+					complete = false
+					break
+				}
+				reps = append(reps, pr)
 			}
+			if !complete {
+				continue // failed point: reported via the engine report
+			}
+			pr := aggregateReplicas(load, reps)
 			res.Points[alg.label()] = append(res.Points[alg.label()], pr)
 			deadlockRate := 0.0
 			if pr.WFGSamples > 0 {
@@ -127,17 +258,63 @@ func (s *Spec) Run(progress func(string)) (*Result, error) {
 					"net_latency":        pr.MeanNetLatency,
 					"p95":                pr.P95Latency,
 					"latency_ci95":       pr.LatencyCI95,
+					"throughput_ci95":    pr.ThroughputCI95,
 					"true_deadlock_rate": deadlockRate,
 				},
 			})
-			if progress != nil {
-				progress(fmt.Sprintf("%-22s load=%.2f latency=%8.1f thpt=%.3f seiz=%d",
-					alg.label(), pr.Load, pr.MeanLatency, pr.Throughput, pr.TokenSeizures))
-			}
 		}
 		res.Series = append(res.Series, series)
 	}
-	return res, nil
+	if report.Failed() > 0 {
+		f := report.Failures[0]
+		return res, report, fmt.Errorf("harness: %d/%d points failed (first: %s: %s)",
+			report.Failed(), report.Total, f.Key, firstLine(f.Err))
+	}
+	return res, report, nil
+}
+
+// aggregateReplicas folds N independent runs of one point into means ± 95%
+// CI (rates) and sums (event counters).
+func aggregateReplicas(load float64, reps []PointResult) PointResult {
+	if len(reps) == 1 {
+		pr := reps[0]
+		pr.Replicas = 1
+		return pr
+	}
+	n := len(reps)
+	lat := make([]float64, n)
+	netLat := make([]float64, n)
+	p95 := make([]float64, n)
+	thpt := make([]float64, n)
+	agg := PointResult{Load: load, Replicas: n}
+	for i, r := range reps {
+		lat[i], netLat[i], p95[i], thpt[i] = r.MeanLatency, r.MeanNetLatency, r.P95Latency, r.Throughput
+		agg.Delivered += r.Delivered
+		agg.Offered += r.Offered
+		agg.TokenSeizures += r.TokenSeizures
+		agg.TimeoutEvents += r.TimeoutEvents
+		agg.TrueDeadlocks += r.TrueDeadlocks
+		agg.WFGSamples += r.WFGSamples
+		agg.MisrouteHops += r.MisrouteHops
+	}
+	agg.MeanLatency = metrics.Mean(lat)
+	agg.LatencyCI95 = metrics.CI95(lat)
+	agg.MeanNetLatency = metrics.Mean(netLat)
+	agg.P95Latency = metrics.Mean(p95)
+	agg.Throughput = metrics.Mean(thpt)
+	agg.ThroughputCI95 = metrics.CI95(thpt)
+	if agg.Delivered > 0 {
+		agg.SeizureRatio = float64(agg.TokenSeizures) / float64(agg.Delivered)
+	}
+	return agg
+}
+
+// firstLine truncates multi-line errors (panic stacks) for progress output.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 func (s *Spec) normalize() error {
@@ -171,7 +348,11 @@ func (s *Spec) normalize() error {
 	return nil
 }
 
-func (s *Spec) runPoint(alg AlgSpec, load float64) (PointResult, error) {
+// runPoint measures one (algorithm, load) pair with the given simulation
+// seed. It is called concurrently by engine workers: everything it touches
+// (topology, pattern, network) is built fresh per call, and the stateless
+// algorithm/selection values are safe to share.
+func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64) (PointResult, error) {
 	topo := s.Topo()
 	pattern, err := s.Pattern(topo)
 	if err != nil {
@@ -199,7 +380,7 @@ func (s *Spec) runPoint(alg AlgSpec, load float64) (PointResult, error) {
 		Pattern:           pattern,
 		LoadRate:          load,
 		MsgLen:            s.MsgLen,
-		Seed:              s.Seed ^ hash(alg.label()) ^ uint64(load*1e6),
+		Seed:              seed,
 		TokenHopsPerCycle: s.TokenHops,
 	})
 	if err != nil {
@@ -246,7 +427,7 @@ func (s *Spec) runPoint(alg AlgSpec, load float64) (PointResult, error) {
 		}
 		batch.Reset()
 	}
-	pr.LatencyCI95 = ci95(batchMeans)
+	pr.LatencyCI95 = metrics.CI95(batchMeans)
 	end := net.Counters()
 
 	delivered := end.PacketsDelivered - startCounters.PacketsDelivered
@@ -270,22 +451,6 @@ func (s *Spec) runPoint(alg AlgSpec, load float64) (PointResult, error) {
 	accepted := float64(flits) / (float64(s.Measure) * float64(topo.Nodes()))
 	pr.Throughput = accepted / capacityFPC
 	return pr, nil
-}
-
-func hash(s string) uint64 {
-	var h uint64 = 1469598103934665603
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // --- Rendering -----------------------------------------------------------------
@@ -354,39 +519,3 @@ func (r *Result) SaturationSummary() string {
 	return sb.String()
 }
 
-// ci95 computes the batch-means 95% confidence halfwidth: t * s / sqrt(n)
-// with Student-t quantiles for the small batch counts the harness uses.
-func ci95(means []float64) float64 {
-	n := len(means)
-	if n < 2 {
-		return 0
-	}
-	mean := 0.0
-	for _, m := range means {
-		mean += m
-	}
-	mean /= float64(n)
-	ss := 0.0
-	for _, m := range means {
-		d := m - mean
-		ss += d * d
-	}
-	s := math.Sqrt(ss / float64(n-1))
-	return tQuantile95(n-1) * s / math.Sqrt(float64(n))
-}
-
-// tQuantile95 returns the two-sided 95% Student-t quantile for df degrees
-// of freedom (df >= 1), falling back to the normal quantile for large df.
-func tQuantile95(df int) float64 {
-	table := []float64{
-		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
-		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
-	}
-	if df < 1 {
-		return table[0]
-	}
-	if df <= len(table) {
-		return table[df-1]
-	}
-	return 1.960
-}

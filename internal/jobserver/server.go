@@ -1,0 +1,411 @@
+// Package jobserver is the HTTP front end of the experiment engine: a job
+// server that accepts sweep specifications as JSON, queues them, runs each
+// through the deterministic parallel engine, and serves live status and
+// finished results (JSON and CSV). It backs cmd/disha-serve.
+//
+// Jobs run one at a time from a FIFO queue — a sweep already saturates every
+// core through the engine's worker pool, so running sweeps concurrently
+// would only thrash the cache and blur the per-job ETA. Determinism is
+// inherited from the engine: submitting the same spec twice returns
+// bit-identical results regardless of server load.
+//
+// API:
+//
+//	POST /jobs                 submit a sweep spec (SweepRequest JSON) -> 202 + job status
+//	GET  /jobs                 list all jobs, oldest first
+//	GET  /jobs/{id}            job status; ?watch=1 streams NDJSON status until terminal
+//	GET  /jobs/{id}/result.json finished curves as JSON
+//	GET  /jobs/{id}/result.csv  finished curves as CSV
+//	GET  /metrics              telemetry registry (engine progress + server totals)
+//	GET  /debug/pprof/         standard profiles
+package jobserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/telemetry"
+)
+
+// SweepRequest is the JSON body of POST /jobs. Figure and Scale select one
+// of the canned paper sweeps; the remaining fields override its knobs.
+type SweepRequest struct {
+	// Figure is the paper figure to sweep: "3a", "3b", "4", "5", "6", "7".
+	Figure string `json:"figure"`
+	// Scale is "paper" (16x16, the default) or "small" (8x8).
+	Scale string `json:"scale,omitempty"`
+	// Loads overrides the swept offered-load rates.
+	Loads []float64 `json:"loads,omitempty"`
+	// Parallel is the engine worker count (0 = all cores).
+	Parallel int `json:"parallel,omitempty"`
+	// Replicas aggregates this many independent runs per point into
+	// mean ± 95% CI (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// Retries is how many extra attempts a failing point gets (default 1).
+	Retries int `json:"retries,omitempty"`
+	// Warmup/Measure override the scale's cycle counts.
+	Warmup  int `json:"warmup,omitempty"`
+	Measure int `json:"measure,omitempty"`
+	// Seed overrides the scale's base seed.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// spec builds the harness spec the request describes.
+func (r *SweepRequest) spec() (*harness.Spec, error) {
+	var sc harness.Scale
+	switch r.Scale {
+	case "", "paper":
+		sc = harness.PaperScale()
+	case "small":
+		sc = harness.SmallScale()
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want \"paper\" or \"small\")", r.Scale)
+	}
+	if r.Warmup > 0 {
+		sc.Warmup = r.Warmup
+	}
+	if r.Measure > 0 {
+		sc.Measure = r.Measure
+	}
+	if r.Seed != 0 {
+		sc.Seed = r.Seed
+	}
+	spec, ok := harness.Figures(sc)[r.Figure]
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %q (want 3a, 3b, 4, 5, 6 or 7)", r.Figure)
+	}
+	if len(r.Loads) > 0 {
+		for _, l := range r.Loads {
+			if l <= 0 || l > 1 {
+				return nil, fmt.Errorf("load %v out of (0, 1]", l)
+			}
+		}
+		spec.Loads = r.Loads
+	}
+	return spec, nil
+}
+
+// Progress is the live completion state of a job.
+type Progress struct {
+	Done           int     `json:"done"`
+	Failed         int     `json:"failed"`
+	Total          int     `json:"total"`
+	ETASeconds     float64 `json:"eta_seconds"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+}
+
+// JobStatus is the JSON rendering of one job.
+type JobStatus struct {
+	ID       string       `json:"id"`
+	State    string       `json:"state"` // "queued", "running", "done", "failed"
+	Request  SweepRequest `json:"request"`
+	Created  time.Time    `json:"created"`
+	Started  *time.Time   `json:"started,omitempty"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	Progress Progress     `json:"progress"`
+	Error    string       `json:"error,omitempty"`
+	// Report is the engine's batch summary, present once the job settled.
+	Report *engine.Report `json:"report,omitempty"`
+}
+
+func (s JobStatus) terminal() bool { return s.State == "done" || s.State == "failed" }
+
+// jobResult is the serialized form of a finished sweep.
+type jobResult struct {
+	Name   string                           `json:"name"`
+	Series []metrics.Series                 `json:"series"`
+	Points map[string][]harness.PointResult `json:"points"`
+}
+
+type job struct {
+	status JobStatus
+	spec   *harness.Spec
+	result *harness.Result
+}
+
+// Server is the job server. Create it with New and mount Handler.
+type Server struct {
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string
+	queue chan string
+	next  int
+
+	reg *telemetry.Registry
+	em  *engine.Metrics
+
+	accepted  atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	queued    atomic.Int64
+
+	done chan struct{}
+}
+
+// New starts a job server and its runner goroutine. queueDepth bounds the
+// number of jobs waiting to run (submissions beyond it get 503); 0 means 64.
+func New(queueDepth int) *Server {
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	s := &Server{
+		jobs:  make(map[string]*job),
+		queue: make(chan string, queueDepth),
+		reg:   telemetry.NewRegistry(),
+		done:  make(chan struct{}),
+	}
+	// Server totals are pull-style metrics over atomics so the registry can
+	// render them from any goroutine; the engine's own progress metrics
+	// serialize through em's mutex (see engine.Metrics).
+	s.reg.CounterFunc("serve_jobs_accepted_total", "sweep jobs accepted", nil, s.accepted.Load)
+	s.reg.CounterFunc("serve_jobs_completed_total", "sweep jobs finished successfully", nil, s.completed.Load)
+	s.reg.CounterFunc("serve_jobs_failed_total", "sweep jobs finished with failures", nil, s.failed.Load)
+	s.reg.GaugeFunc("serve_jobs_queued", "sweep jobs waiting to run", nil,
+		func() float64 { return float64(s.queued.Load()) })
+	s.em = engine.NewMetrics(s.reg)
+	s.em.Publish()
+	go s.runner()
+	return s
+}
+
+// Close stops the runner after the in-flight job (if any) finishes. Submits
+// after Close fail with 503.
+func (s *Server) Close() { close(s.done) }
+
+// Registry exposes the server's telemetry registry (tests, embedding).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+func (s *Server) runner() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case id := <-s.queue:
+			s.queued.Add(-1)
+			s.runJob(id)
+		}
+	}
+}
+
+func (s *Server) runJob(id string) {
+	s.mu.Lock()
+	j := s.jobs[id]
+	now := time.Now()
+	j.status.State = "running"
+	j.status.Started = &now
+	spec := j.spec
+	req := j.status.Request
+	s.mu.Unlock()
+
+	res, report, err := spec.RunWith(harness.RunOptions{
+		Parallel: req.Parallel,
+		Replicas: req.Replicas,
+		Retries:  req.Retries,
+		Metrics:  s.em,
+		Status: func(st engine.Status) {
+			s.mu.Lock()
+			j.status.Progress = Progress{
+				Done:           st.Done,
+				Failed:         st.Failed,
+				Total:          st.Total,
+				ETASeconds:     st.ETA.Seconds(),
+				ElapsedSeconds: st.Elapsed.Seconds(),
+			}
+			s.mu.Unlock()
+		},
+	})
+
+	s.mu.Lock()
+	end := time.Now()
+	j.status.Finished = &end
+	j.status.Report = report
+	j.result = res
+	if err != nil {
+		j.status.State = "failed"
+		j.status.Error = err.Error()
+		s.failed.Add(1)
+	} else {
+		j.status.State = "done"
+		s.completed.Add(1)
+	}
+	s.mu.Unlock()
+	// Refresh the published snapshot so the server totals move even between
+	// engine updates.
+	s.em.Publish()
+}
+
+// Handler returns the server's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/result.json", s.handleResultJSON)
+	mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleResultCSV)
+	// Reuse the telemetry exposition handler (it also serves pprof).
+	th := telemetry.Handler(s.reg)
+	mux.Handle("GET /metrics", th)
+	mux.Handle("/debug/pprof/", th)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := req.spec()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.next++
+	id := fmt.Sprintf("job-%04d", s.next)
+	j := &job{
+		status: JobStatus{ID: id, State: "queued", Request: req, Created: time.Now()},
+		spec:   spec,
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- id:
+		s.queued.Add(1)
+		s.accepted.Add(1)
+		s.em.Publish()
+	default:
+		s.mu.Lock()
+		j.status.State = "failed"
+		j.status.Error = "queue full"
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+id)
+	writeJSON(w, http.StatusAccepted, s.snapshot(id))
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	out := make([]JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id].status)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := s.lookup(id); !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	if r.URL.Query().Get("watch") == "" {
+		writeJSON(w, http.StatusOK, s.snapshot(id))
+		return
+	}
+	// Streaming mode: one NDJSON status line per tick until the job settles.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		st := s.snapshot(id)
+		if err := enc.Encode(st); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st.terminal() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) handleResultJSON(w http.ResponseWriter, r *http.Request) {
+	res, status, ok := s.finishedResult(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, jobResult{Name: status.Request.Figure, Series: res.Series, Points: res.Points})
+}
+
+func (s *Server) handleResultCSV(w http.ResponseWriter, r *http.Request) {
+	res, _, ok := s.finishedResult(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte(res.CSV()))
+}
+
+// finishedResult resolves {id} to a finished job's result, writing the
+// appropriate error response otherwise. Failed jobs with partial results
+// still serve them (the failure is visible in the status report).
+func (s *Server) finishedResult(w http.ResponseWriter, r *http.Request) (*harness.Result, JobStatus, bool) {
+	id := r.PathValue("id")
+	j, ok := s.lookup(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job %q", id)
+		return nil, JobStatus{}, false
+	}
+	s.mu.Lock()
+	st := j.status
+	res := j.result
+	s.mu.Unlock()
+	if !st.terminal() {
+		httpError(w, http.StatusConflict, "job %s is %s; results are available once it settles", id, st.State)
+		return nil, JobStatus{}, false
+	}
+	if res == nil {
+		httpError(w, http.StatusNotFound, "job %s produced no results: %s", id, st.Error)
+		return nil, JobStatus{}, false
+	}
+	return res, st, true
+}
+
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+func (s *Server) snapshot(id string) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id].status
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

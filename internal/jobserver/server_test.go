@@ -1,0 +1,308 @@
+package jobserver
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyReq is a sweep small enough for a unit test: one low load on the 8x8
+// scale with short windows.
+func tinyReq() SweepRequest {
+	return SweepRequest{
+		Figure:  "3a",
+		Scale:   "small",
+		Loads:   []float64{0.2},
+		Warmup:  100,
+		Measure: 300,
+	}
+}
+
+func startServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(4)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, req SweepRequest) JobStatus {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d", resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func getJSON(t *testing.T, url string, v any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func waitDone(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		var st JobStatus
+		if code := getJSON(t, ts.URL+"/jobs/"+id, &st); code != http.StatusOK {
+			t.Fatalf("status code = %d", code)
+		}
+		if st.terminal() {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not settle in time", id)
+	return JobStatus{}
+}
+
+func TestSubmitRunAndFetchResults(t *testing.T) {
+	_, ts := startServer(t)
+	st := submit(t, ts, tinyReq())
+	if st.ID == "" || st.State == "" {
+		t.Fatalf("bad submit response: %+v", st)
+	}
+
+	final := waitDone(t, ts, st.ID)
+	if final.State != "done" {
+		t.Fatalf("job state = %s (error %q)", final.State, final.Error)
+	}
+	if final.Report == nil || final.Report.Completed != final.Report.Total || final.Report.Total == 0 {
+		t.Fatalf("report = %+v", final.Report)
+	}
+	if final.Progress.Done != final.Report.Total {
+		t.Fatalf("progress done = %d, want %d", final.Progress.Done, final.Report.Total)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Fatal("timestamps missing")
+	}
+
+	// CSV result.
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "/result.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv, _ := func() ([]byte, error) { defer resp.Body.Close(); b := new(bytes.Buffer); _, e := b.ReadFrom(resp.Body); return b.Bytes(), e }()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(csv), "series,load,latency,throughput") {
+		t.Fatalf("csv result: code=%d body=%q", resp.StatusCode, csv)
+	}
+
+	// JSON result.
+	var res jobResult
+	if code := getJSON(t, ts.URL+"/jobs/"+st.ID+"/result.json", &res); code != http.StatusOK {
+		t.Fatalf("result.json code = %d", code)
+	}
+	if len(res.Series) != 2 || len(res.Points) != 2 {
+		t.Fatalf("result series=%d points=%d, want 2 curves", len(res.Series), len(res.Points))
+	}
+	for label, pts := range res.Points {
+		if len(pts) != 1 || pts[0].Delivered == 0 {
+			t.Fatalf("curve %s points %+v", label, pts)
+		}
+	}
+
+	// Determinism across submissions: same spec, same bytes.
+	st2 := submit(t, ts, tinyReq())
+	if got := waitDone(t, ts, st2.ID); got.State != "done" {
+		t.Fatalf("second job state = %s", got.State)
+	}
+	resp2, err := http.Get(ts.URL + "/jobs/" + st2.ID + "/result.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv2 := new(bytes.Buffer)
+	csv2.ReadFrom(resp2.Body)
+	resp2.Body.Close()
+	if csv2.String() != string(csv) {
+		t.Fatalf("resubmitted sweep diverged:\n--- first ---\n%s--- second ---\n%s", csv, csv2.String())
+	}
+
+	// The job list shows both, oldest first.
+	var list []JobStatus
+	if code := getJSON(t, ts.URL+"/jobs", &list); code != http.StatusOK || len(list) != 2 {
+		t.Fatalf("list code=%d len=%d", code, len(list))
+	}
+	if list[0].ID != st.ID || list[1].ID != st2.ID {
+		t.Fatalf("list order %s, %s", list[0].ID, list[1].ID)
+	}
+}
+
+func TestWatchStreamsStatusUntilTerminal(t *testing.T) {
+	_, ts := startServer(t)
+	st := submit(t, ts, tinyReq())
+	resp, err := http.Get(ts.URL + "/jobs/" + st.ID + "?watch=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	var lines int
+	var last JobStatus
+	for sc.Scan() {
+		lines++
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if lines == 0 {
+		t.Fatal("watch stream produced no status lines")
+	}
+	if !last.terminal() {
+		t.Fatalf("stream ended before terminal state: %+v", last)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	_, ts := startServer(t)
+	st := submit(t, ts, tinyReq())
+	waitDone(t, ts, st.ID)
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body := new(bytes.Buffer)
+	body.ReadFrom(resp.Body)
+	text := body.String()
+	for _, want := range []string{
+		"serve_jobs_accepted_total 1",
+		"serve_jobs_completed_total 1",
+		"serve_jobs_queued 0",
+		"engine_jobs_done_total 2",
+		"engine_runs_finished_total 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := startServer(t)
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"unknown figure", `{"figure":"99"}`},
+		{"unknown scale", `{"figure":"4","scale":"huge"}`},
+		{"bad load", `{"figure":"4","loads":[1.5]}`},
+		{"unknown field", `{"figure":"4","bogus":1}`},
+		{"not json", `nope`},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+
+	if code := getJSON(t, ts.URL+"/jobs/job-9999", nil); code != http.StatusNotFound {
+		t.Fatalf("missing job status code = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/jobs/job-9999/result.csv", nil); code != http.StatusNotFound {
+		t.Fatalf("missing job result code = %d", code)
+	}
+}
+
+func TestResultBeforeDoneConflicts(t *testing.T) {
+	_, ts := startServer(t)
+	// Claim the runner with a slower job, then query the queued one behind it.
+	slow := tinyReq()
+	slow.Measure = 2500
+	slow.Loads = []float64{0.2, 0.4}
+	first := submit(t, ts, slow)
+	second := submit(t, ts, tinyReq())
+	if code := getJSON(t, ts.URL+"/jobs/"+second.ID+"/result.json", nil); code != http.StatusConflict {
+		t.Fatalf("pre-completion result code = %d, want 409", code)
+	}
+	waitDone(t, ts, first.ID)
+	waitDone(t, ts, second.ID)
+}
+
+func TestSpecValidation(t *testing.T) {
+	req := tinyReq()
+	spec, err := req.spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Loads) != 1 || spec.Loads[0] != 0.2 {
+		t.Fatalf("loads override lost: %v", spec.Loads)
+	}
+	if spec.Warmup != 100 || spec.Measure != 300 {
+		t.Fatalf("cycle overrides lost: w=%d m=%d", spec.Warmup, spec.Measure)
+	}
+	req.Seed = 99
+	spec2, _ := req.spec()
+	if spec2.Seed != 99 {
+		t.Fatalf("seed override lost: %d", spec2.Seed)
+	}
+	if _, err := (&SweepRequest{Figure: "4", Scale: "nope"}).spec(); err == nil {
+		t.Fatal("bad scale must fail")
+	}
+	if _, err := (&SweepRequest{Figure: "x"}).spec(); err == nil {
+		t.Fatal("bad figure must fail")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	s := New(1)
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Occupy the runner and fill the 1-deep queue, then overflow it. The
+	// runner may drain the queue between submits, so allow a few attempts.
+	slow := tinyReq()
+	slow.Measure = 3000
+	slow.Loads = []float64{0.2, 0.4}
+	got503 := false
+	for i := 0; i < 6 && !got503; i++ {
+		body, _ := json.Marshal(slow)
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+		case http.StatusServiceUnavailable:
+			got503 = true
+		default:
+			t.Fatalf("unexpected status %d", resp.StatusCode)
+		}
+	}
+	if !got503 {
+		t.Fatal("queue never reported full")
+	}
+}

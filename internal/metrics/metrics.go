@@ -195,6 +195,70 @@ func (h *Histogram) Render(width int) string {
 	return sb.String()
 }
 
+// --- Mean ± confidence interval ------------------------------------------------
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// CI95 returns the 95% confidence halfwidth t * s / sqrt(n) of the mean of
+// xs (sample standard deviation, Student-t quantile), or 0 with fewer than
+// two samples. It serves both batch-means latency intervals and
+// across-replica aggregation in the experiment engine.
+func CI95(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	mean := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	s := math.Sqrt(ss / float64(n-1))
+	return TQuantile95(n-1) * s / math.Sqrt(float64(n))
+}
+
+// MeanCI is a mean with its 95% confidence halfwidth.
+type MeanCI struct {
+	Mean float64
+	CI95 float64
+}
+
+// MeanCI95 summarizes xs as mean ± 95% CI.
+func MeanCI95(xs []float64) MeanCI {
+	return MeanCI{Mean: Mean(xs), CI95: CI95(xs)}
+}
+
+func (m MeanCI) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", m.Mean, m.CI95)
+}
+
+// TQuantile95 returns the two-sided 95% Student-t quantile for df degrees of
+// freedom (df >= 1), falling back to the normal quantile for large df.
+func TQuantile95(df int) float64 {
+	table := []float64{
+		12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+		2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	}
+	if df < 1 {
+		return table[0]
+	}
+	if df <= len(table) {
+		return table[df-1]
+	}
+	return 1.960
+}
+
 // Point is one measurement of a sweep: x is the independent variable (load
 // rate), and the named fields mirror what the paper's figures plot.
 type Point struct {

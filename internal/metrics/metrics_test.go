@@ -195,3 +195,34 @@ func TestPeakThroughput(t *testing.T) {
 		t.Fatalf("peak %v", s.PeakThroughput())
 	}
 }
+
+func TestMeanAndCI95(t *testing.T) {
+	if Mean(nil) != 0 || Mean([]float64{3, 5}) != 4 {
+		t.Fatal("mean wrong")
+	}
+	if CI95(nil) != 0 || CI95([]float64{5}) != 0 {
+		t.Fatal("degenerate CIs must be zero")
+	}
+	// Identical samples: zero variance, zero CI.
+	if CI95([]float64{7, 7, 7, 7}) != 0 {
+		t.Fatal("zero-variance CI must be zero")
+	}
+	// Known case: {1,2,3}, sd=1, t(2)=4.303 -> 4.303/sqrt(3)=2.484...
+	got := CI95([]float64{1, 2, 3})
+	if got < 2.4 || got > 2.6 {
+		t.Fatalf("CI95({1,2,3}) = %v", got)
+	}
+	mc := MeanCI95([]float64{1, 2, 3})
+	if mc.Mean != 2 || mc.CI95 != got {
+		t.Fatalf("MeanCI95 = %+v", mc)
+	}
+	if !strings.Contains(mc.String(), "±") {
+		t.Fatalf("MeanCI string %q", mc.String())
+	}
+}
+
+func TestTQuantile95(t *testing.T) {
+	if TQuantile95(0) != 12.706 || TQuantile95(1) != 12.706 || TQuantile95(4) != 2.776 || TQuantile95(100) != 1.960 {
+		t.Fatal("t quantiles wrong")
+	}
+}
