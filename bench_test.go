@@ -390,6 +390,45 @@ func BenchmarkAblationFaultTolerance(b *testing.B) {
 	}
 }
 
+// stepBench measures steady-state Step cost on a loaded torus with the given
+// kernel shard count (0 = serial kernel). b.ReportAllocs surfaces the
+// zero-allocation steady-state property alongside ns/cycle.
+func stepBench(b *testing.B, radix, shards int) {
+	b.Helper()
+	topo := disha.Torus(radix, radix)
+	sim, err := disha.NewSimulator(disha.SimConfig{
+		Topo: topo, Algorithm: disha.DishaRouting(0), Pattern: disha.Uniform(topo),
+		LoadRate: 0.5, MsgLen: 32, Timeout: 8, Seed: 1, Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sim.Close)
+	sim.Run(2000) // steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+	b.ReportMetric(float64(topo.Nodes()), "routers/step")
+}
+
+// BenchmarkStepSerial is the serial-kernel baseline for the phased parallel
+// kernel comparison (compare against BenchmarkStepSharded with benchstat;
+// CI fails the kernel job if sharded regresses below serial at 16x16).
+func BenchmarkStepSerial(b *testing.B) {
+	b.Run("torus8", func(b *testing.B) { stepBench(b, 8, 0) })
+	b.Run("torus16", func(b *testing.B) { stepBench(b, 16, 0) })
+}
+
+// BenchmarkStepSharded runs the identical simulations under the sharded
+// kernel (4 worker shards). Results are byte-identical to serial; only the
+// wall time may differ.
+func BenchmarkStepSharded(b *testing.B) {
+	b.Run("torus8", func(b *testing.B) { stepBench(b, 8, 4) })
+	b.Run("torus16", func(b *testing.B) { stepBench(b, 16, 4) })
+}
+
 // BenchmarkAblationAdaptiveTimeout compares fixed vs self-tuning T_out at
 // an aggressively small base (the paper's "programmable T_out" future work).
 func BenchmarkAblationAdaptiveTimeout(b *testing.B) {

@@ -49,6 +49,7 @@ func main() {
 		rx        = flag.Int("rx", 1, "reception channels per node")
 		drain     = flag.Int("drain", 0, "extra cycles to drain after stopping injection (0 = no drain)")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		shards    = flag.Int("shards", 0, "kernel worker shards per cycle (0/1 = serial; any value gives identical results)")
 		wfg       = flag.Bool("wfg", false, "run the wait-for-graph analyzer at the end")
 
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
@@ -135,8 +136,10 @@ func main() {
 		ReceptionChannels: *rx,
 		InjectionThrottle: *throttle,
 		Seed:              *seed,
+		Shards:            *shards,
 	})
 	fail(err)
+	defer sim.Close()
 
 	// Observability: attach the telemetry hub when either output is wanted.
 	var (

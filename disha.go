@@ -220,6 +220,11 @@ type SimConfig struct {
 	Seed uint64
 	// TokenHopsPerCycle is the recovery Token's speed (default 4).
 	TokenHopsPerCycle int
+	// Shards fans the router-local simulation phases out across this many
+	// worker shards per cycle. Results are byte-identical to serial for any
+	// value; 0 or 1 keeps the serial kernel. Call Close when done to stop
+	// the worker pool.
+	Shards int
 }
 
 // BurstConfig shapes bursty injection (mean burst and idle lengths, cycles).
@@ -266,6 +271,7 @@ func NewSimulator(cfg SimConfig) (*Simulator, error) {
 		TokenHopsPerCycle: cfg.TokenHopsPerCycle,
 		InjectionThrottle: cfg.InjectionThrottle,
 		Burst:             cfg.Burst,
+		Kernel:            network.KernelConfig{Shards: cfg.Shards},
 	})
 	if err != nil {
 		return nil, err
@@ -275,6 +281,10 @@ func NewSimulator(cfg SimConfig) (*Simulator, error) {
 
 // Run advances the simulation the given number of cycles.
 func (s *Simulator) Run(cycles int) { s.net.Run(cycles) }
+
+// Close releases the sharded kernel's worker pool (a no-op for serial
+// simulators). The simulator must not be stepped after Close.
+func (s *Simulator) Close() { s.net.Close() }
 
 // Step advances one cycle.
 func (s *Simulator) Step() { s.net.Step() }

@@ -76,6 +76,12 @@ type Spec struct {
 	// independent seeds and aggregates the replicas into mean ± 95% CI
 	// (default 1). RunOptions.Replicas overrides it.
 	Replicas int
+	// Shards configures the intra-simulation parallel kernel: each run's
+	// Step fans its router-local phases out across this many shards.
+	// Results are byte-identical to serial (0/1); it composes with the
+	// engine's across-point parallelism, so keep Shards*Parallelism within
+	// the host's core count.
+	Shards int
 }
 
 // PointResult is the measurement of one (algorithm, load) pair. With
@@ -382,10 +388,12 @@ func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64) (PointResult, er
 		MsgLen:            s.MsgLen,
 		Seed:              seed,
 		TokenHopsPerCycle: s.TokenHops,
+		Kernel:            network.KernelConfig{Shards: s.Shards},
 	})
 	if err != nil {
 		return PointResult{}, err
 	}
+	defer net.Close()
 
 	// Warm-up: run without collecting.
 	net.Run(s.Warmup)

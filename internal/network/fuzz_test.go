@@ -1,0 +1,79 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// FuzzConfigNormalize drives Config validation (and the constructors behind
+// it) with arbitrary parameters: New must either reject the configuration
+// with an error or return a network that survives a short run with sound
+// invariants — never panic. The algorithm/recovery/allocation selectors are
+// decoded modulo their domains so the fuzzer reaches every combination,
+// including invalid shard counts and degenerate VC/buffer settings.
+func FuzzConfigNormalize(f *testing.F) {
+	f.Add(int8(4), int8(4), uint8(0), int8(4), int8(2), int8(1), int8(1), int16(8), uint8(0), uint8(0), int8(0), int16(8), uint16(100))
+	f.Add(int8(8), int8(8), uint8(1), int8(1), int8(1), int8(0), int8(1), int16(4), uint8(1), uint8(0), int8(4), int16(32), uint16(300))
+	f.Add(int8(3), int8(5), uint8(2), int8(2), int8(1), int8(1), int8(2), int16(1), uint8(2), uint8(1), int8(-1), int16(1), uint16(50))
+	f.Add(int8(2), int8(0), uint8(3), int8(0), int8(0), int8(0), int8(0), int16(0), uint8(0), uint8(1), int8(100), int16(0), uint16(10))
+	f.Add(int8(4), int8(4), uint8(4), int8(-2), int8(-1), int8(-1), int8(-1), int16(-8), uint8(2), uint8(0), int8(3), int16(-1), uint16(120))
+	f.Fuzz(func(t *testing.T, kx, ky int8, algSel uint8, vcs, depth, dbDepth, injVCs int8,
+		timeout int16, recovery, alloc uint8, shards int8, msgLen int16, cycles uint16) {
+		// Fold the numeric knobs into small ranges that still include
+		// invalid values (negatives, zeros): rejection paths stay reachable
+		// while valid configurations remain cheap enough to actually step.
+		fold := func(v int8, span int) int { return int(v)%span - 1 }
+		topo, err := topology.NewTorus(fold(kx, 10), fold(ky, 10))
+		if err != nil {
+			return
+		}
+		vcs = int8(fold(vcs, 10))
+		depth = int8(fold(depth, 7))
+		dbDepth = int8(fold(dbDepth, 5))
+		injVCs = int8(fold(injVCs, 5))
+		msgLen = int16(fold(int8(msgLen%64), 34))
+		algs := []routing.Algorithm{
+			routing.Disha(0), routing.Disha(3), routing.DOR(),
+			routing.NegativeFirst(), routing.DallyAoki(), routing.Duato(),
+		}
+		cfg := Config{
+			Topo:      topo,
+			Algorithm: algs[int(algSel)%len(algs)],
+			Pattern:   traffic.Uniform(topo),
+			LoadRate:  0.4,
+			MsgLen:    int(msgLen),
+			Seed:      1,
+			Router: router.Config{
+				VCs:                 int(vcs),
+				BufferDepth:         int(depth),
+				DeadlockBufferDepth: int(dbDepth),
+				InjectionVCs:        int(injVCs),
+				Timeout:             sim.Cycle(timeout),
+				Recovery:            router.RecoveryMode(int(recovery) % 4),
+				Alloc:               router.AllocPolicy(int(alloc) % 3),
+			},
+			Kernel: KernelConfig{Shards: int(shards)},
+		}
+		n, err := New(cfg)
+		if err != nil {
+			return
+		}
+		defer n.Close()
+		steps := int(cycles) % 200
+		for i := 0; i < steps; i++ {
+			n.Step()
+		}
+		if err := n.CheckInvariants(); err != nil {
+			t.Fatalf("after %d cycles: %v", steps, err)
+		}
+		c := n.Counters()
+		if c.PacketsDelivered > c.PacketsInjected {
+			t.Fatalf("delivered %d > injected %d", c.PacketsDelivered, c.PacketsInjected)
+		}
+	})
+}

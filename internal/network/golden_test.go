@@ -1,0 +1,170 @@
+package network
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// Regenerate the golden digests after an intentional behavior change with:
+//
+//	go test ./internal/network -run TestGoldenDigests -update-golden
+//
+// Then inspect the diff of testdata/golden_digests.json and explain the
+// change in the commit message: a digest change means every simulation
+// result in results/ shifts too.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_digests.json from the current kernel")
+
+const goldenFile = "testdata/golden_digests.json"
+
+// goldenCase is one pinned simulation: a routing algorithm on an 8x8
+// network, fixed seed, fixed cycle count. The DISHA case is tuned to be
+// deadlock-prone (tight buffers, low T_out, high load) so the digest also
+// pins detection and Token-recovery behavior, not just benign routing.
+type goldenCase struct {
+	name   string
+	cycles int
+	build  func() Config
+}
+
+func goldenCases() []goldenCase {
+	seqRecovery := func(alg routing.Algorithm, topo topology.Topology, load float64) Config {
+		cfg := testConfig(topo, alg, load, 42)
+		return cfg
+	}
+	return []goldenCase{
+		{
+			name:   "disha",
+			cycles: 600,
+			build: func() Config {
+				cfg := testConfig(topology.MustTorus(8, 8), routing.Disha(0), 0.6, 42)
+				cfg.Router.VCs = 2
+				cfg.Router.BufferDepth = 1
+				cfg.Router.Timeout = 4
+				return cfg
+			},
+		},
+		{
+			name:   "dor",
+			cycles: 600,
+			build:  func() Config { return seqRecovery(routing.DOR(), topology.MustTorus(8, 8), 0.4) },
+		},
+		{
+			name:   "negfirst",
+			cycles: 600,
+			build:  func() Config { return seqRecovery(routing.NegativeFirst(), topology.MustMesh(8, 8), 0.4) },
+		},
+		{
+			name:   "dallyaoki",
+			cycles: 600,
+			build:  func() Config { return seqRecovery(routing.DallyAoki(), topology.MustTorus(8, 8), 0.4) },
+		},
+		{
+			name:   "duato",
+			cycles: 600,
+			build:  func() Config { return seqRecovery(routing.Duato(), topology.MustTorus(8, 8), 0.5) },
+		},
+	}
+}
+
+// runCase steps a fresh network for the case's cycle budget with the given
+// shard count, checking structural invariants along the way, and returns the
+// final state fingerprint.
+func runCase(t *testing.T, gc goldenCase, shards int) string {
+	t.Helper()
+	cfg := gc.build()
+	cfg.Kernel.Shards = shards
+	n := mustNet(t, cfg)
+	defer n.Close()
+	for i := 0; i < gc.cycles; i++ {
+		n.Step()
+		if i%50 == 49 {
+			if err := n.CheckInvariants(); err != nil {
+				t.Fatalf("cycle %d (shards=%d): %v", i+1, shards, err)
+			}
+		}
+	}
+	return n.FingerprintHex()
+}
+
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	raw, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update-golden): %v", err)
+	}
+	var m map[string]string
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	return m
+}
+
+// TestGoldenDigests pins the simulation's full observable behavior — all
+// five routing algorithms, fixed seeds — against committed SHA-256 digests,
+// and proves the parallel kernel's determinism contract: Shards ∈ {1,2,4,8}
+// must produce byte-identical state to the serial kernel.
+func TestGoldenDigests(t *testing.T) {
+	digests := make(map[string]string)
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			serial := runCase(t, gc, 0)
+			for _, shards := range []int{1, 2, 4, 8} {
+				if got := runCase(t, gc, shards); got != serial {
+					t.Fatalf("shards=%d digest %s differs from serial %s", shards, got, serial)
+				}
+			}
+			digests[gc.name] = serial
+		})
+	}
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		raw, err := json.MarshalIndent(digests, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, append(raw, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenFile)
+		return
+	}
+
+	want := readGolden(t)
+	for name, got := range digests {
+		if want[name] == "" {
+			t.Errorf("%s: no golden digest committed (run with -update-golden)", name)
+		} else if got != want[name] {
+			t.Errorf("%s: digest %s, golden %s — simulation behavior changed; if intentional, regenerate with -update-golden", name, got, want[name])
+		}
+	}
+}
+
+// TestGoldenDishaExercisesRecovery guards the DISHA golden case against
+// silently degenerating into benign traffic: the digest only pins recovery
+// behavior if deadlocks actually occur.
+func TestGoldenDishaExercisesRecovery(t *testing.T) {
+	var disha goldenCase
+	for _, gc := range goldenCases() {
+		if gc.name == "disha" {
+			disha = gc
+		}
+	}
+	cfg := disha.build()
+	n := mustNet(t, cfg)
+	defer n.Close()
+	n.Run(disha.cycles)
+	c := n.Counters()
+	if c.TimeoutEvents == 0 || c.TokenSeizures == 0 {
+		t.Fatalf("golden disha case is not deadlock-prone: timeouts=%d seizures=%d", c.TimeoutEvents, c.TokenSeizures)
+	}
+}

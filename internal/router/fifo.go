@@ -28,6 +28,15 @@ func (f *fifo) Push(fl packet.Flit) {
 	f.n++
 }
 
+// At returns the i-th buffered flit counting from the head (0 == Peek).
+// State serialization and invariant checks walk buffers with it.
+func (f *fifo) At(i int) packet.Flit {
+	if i < 0 || i >= f.n {
+		panic("router: fifo index out of range")
+	}
+	return f.items[(f.head+i)%len(f.items)]
+}
+
 func (f *fifo) Peek() packet.Flit {
 	if f.Empty() {
 		panic("router: peek on empty fifo")

@@ -15,7 +15,7 @@ package router
 // The reception path is modeled separately from the crossbar (stageEjection
 // runs first in StageSwitch), matching routers whose delivery ports bypass
 // the switch.
-func (r *Router) stageSwitchPBP(res *Reservations, out []Transfer) []Transfer {
+func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 	deg := r.topo.Degree()
 
 	// inputConn[p] reports whether input port p is already wired to some
@@ -82,7 +82,7 @@ func (r *Router) stageSwitchPBP(res *Reservations, out []Transfer) []Transfer {
 				preempt(q)
 				c.db = true
 			}
-			if !r.dbs[0].buf.Empty() && res.ReserveDB(r.neighbors[q], 0, r.dbs[0].pkt) {
+			if !r.dbs[0].buf.Empty() && dbStageable(r.neighbors[q], 0, r.dbs[0].pkt) {
 				out = append(out, Transfer{From: r, FromDB: true, To: r.neighbors[q], OutPort: q, ToDB: true})
 				continue
 			}
@@ -92,7 +92,7 @@ func (r *Router) stageSwitchPBP(res *Reservations, out []Transfer) []Transfer {
 			// need this very port, so lend the idle slot (the paper's
 			// Assumption 1: internal flow control guarantees forward
 			// progress of buffers the recovery lane depends on).
-			out = r.arbitrateInput(q, total, res, &inputUsed, out)
+			out = r.arbitrateInput(q, total, &inputUsed, out)
 			continue
 		}
 
@@ -146,7 +146,7 @@ func (r *Router) stageSwitchPBP(res *Reservations, out []Transfer) []Transfer {
 		if !ivc.buf.Empty() && !inputUsed[c.inPort] {
 			var tr Transfer
 			if ivc.outVC == VCDeadlockBuffer {
-				if res.ReserveDB(r.neighbors[q], ivc.dbLane, ivc.pkt) {
+				if dbStageable(r.neighbors[q], ivc.dbLane, ivc.pkt) {
 					tr = Transfer{From: r, FromPort: c.inPort, FromVC: c.inVC, To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: ivc.dbLane}
 					staged = true
 				}
@@ -167,7 +167,7 @@ func (r *Router) stageSwitchPBP(res *Reservations, out []Transfer) []Transfer {
 			}
 		}
 		if !staged {
-			out = r.arbitrateInput(q, total, res, &inputUsed, out)
+			out = r.arbitrateInput(q, total, &inputUsed, out)
 		}
 	}
 	return out

@@ -31,8 +31,9 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 	r.outputs[q][0].owner = a
 
 	step := func() []Transfer {
+		xfers := r.StageSwitch(nil)
 		b.res.Reset()
-		xfers := r.StageSwitch(b.res, nil)
+		b.res.Resolve(xfers)
 		for _, tr := range xfers {
 			Commit(tr, b)
 		}
@@ -127,8 +128,9 @@ func TestPBPLendsStalledConnection(t *testing.T) {
 	// First stage: A establishes the connection (or B does — either way a
 	// flit must flow every cycle while somebody can send).
 	for i := 0; i < 2; i++ {
+		xfers := r.StageSwitch(nil)
 		b.res.Reset()
-		xfers := r.StageSwitch(b.res, nil)
+		b.res.Resolve(xfers)
 		sentB := false
 		for _, tr := range xfers {
 			if tr.To != nil && tr.OutPort == q && tr.FromPort == 2 {

@@ -10,6 +10,10 @@ import (
 // Transfer is one staged flit movement for the current cycle. All transfers
 // are staged against start-of-cycle state by StageSwitch and applied together
 // by Commit, which keeps the simulation order-independent across routers.
+// Staging is router-local (it touches only the staging router's state), so
+// disjoint router shards may stage concurrently; the cross-router Deadlock
+// Buffer write-port constraint is enforced afterwards by Reservations.Resolve
+// in fixed router order.
 type Transfer struct {
 	From       *Router
 	FromPort   int // source input port; ignored when FromDB
@@ -23,6 +27,10 @@ type Transfer struct {
 	ToDB     bool    // flit enters the receiver's Deadlock Buffer (status line asserted)
 	ToDBLane int
 	Eject    bool // flit is consumed by From's reception channel
+
+	// Dropped marks a Deadlock-Buffer transfer that lost the per-cycle
+	// write-port arbitration in Reservations.Resolve; Commit must skip it.
+	Dropped bool
 }
 
 // dbKey identifies one Deadlock Buffer lane for per-cycle reservations.
@@ -54,13 +62,10 @@ func (res *Reservations) Reset() {
 // ReserveDB attempts to admit one flit of p into lane of target's Deadlock
 // Buffer this cycle.
 func (res *Reservations) ReserveDB(target *Router, lane int, p *packet.Packet) bool {
-	if target == nil || lane >= len(target.dbs) {
+	if !dbStageable(target, lane, p) {
 		return false
 	}
 	db := &target.dbs[lane]
-	if db.pkt != nil && db.pkt != p {
-		return false
-	}
 	k := dbKey{target, lane}
 	if res.m[k] >= 1 { // single write port
 		return false
@@ -70,6 +75,53 @@ func (res *Reservations) ReserveDB(target *Router, lane int, p *packet.Packet) b
 	}
 	res.m[k]++
 	return true
+}
+
+// dbStageable reports whether one flit of p could enter lane of target's
+// Deadlock Buffer this cycle as far as start-of-cycle state is concerned:
+// the lane exists, is idle or already threaded by p, and has a free slot.
+// It deliberately ignores the per-cycle single-write-port constraint, which
+// depends on what other routers stage: StageSwitch uses this check so that
+// staging reads only start-of-cycle state (safe and deterministic under
+// concurrent sharded staging) and Reservations.Resolve settles the write
+// port afterwards in fixed router order.
+func dbStageable(target *Router, lane int, p *packet.Packet) bool {
+	if target == nil || lane < 0 || lane >= len(target.dbs) {
+		return false
+	}
+	db := &target.dbs[lane]
+	return (db.pkt == nil || db.pkt == p) && db.buf.Space() >= 1
+}
+
+// Resolve arbitrates the staged Deadlock Buffer admissions of one cycle: it
+// walks the transfers in order and re-checks every DB-bound transfer against
+// the single-write-port reservation table, marking losers Dropped and
+// un-staging their source (the sent flag is cleared so TickTimers still sees
+// the header as blocked). Callers invoke it serially, shard by shard in
+// fixed router order, between staging and Commit; the surviving transfers
+// are exactly those a fully serial stage-with-reservations pass would have
+// admitted, except that a port whose optimistically staged DB transfer loses
+// arbitration idles for the cycle instead of re-arbitrating.
+func (res *Reservations) Resolve(xfers []Transfer) {
+	for i := range xfers {
+		t := &xfers[i]
+		if !t.ToDB {
+			continue
+		}
+		var p *packet.Packet
+		if t.FromDB {
+			p = t.From.dbs[t.FromDBLane].pkt
+		} else {
+			p = t.From.inputs[t.FromPort][t.FromVC].pkt
+		}
+		if res.ReserveDB(t.To, t.ToDBLane, p) {
+			continue
+		}
+		t.Dropped = true
+		if !t.FromDB {
+			t.From.inputs[t.FromPort][t.FromVC].sent = false
+		}
+	}
 }
 
 // --- Routing / virtual channel allocation ------------------------------------
@@ -164,12 +216,18 @@ func (r *Router) routeInputVC(port, vc int) {
 // StageSwitch arbitrates the crossbar and reception channels for this cycle
 // and appends the staged flit movements to out. Decisions use
 // start-of-cycle buffer/credit state; Commit applies them afterwards.
-func (r *Router) StageSwitch(res *Reservations, out []Transfer) []Transfer {
+//
+// StageSwitch mutates only this router's state and reads neighbors' Deadlock
+// Buffer state, which is start-of-cycle stable, so disjoint router shards may
+// stage concurrently. Deadlock-Buffer-bound transfers are staged
+// optimistically; the caller must run Reservations.Resolve over all staged
+// transfers (in fixed router order) before committing them.
+func (r *Router) StageSwitch(out []Transfer) []Transfer {
 	out = r.stageEjection(out)
 	if r.cfg.Alloc == PacketByPacket {
-		return r.stageSwitchPBP(res, out)
+		return r.stageSwitchPBP(out)
 	}
-	return r.stageSwitchFBF(res, out)
+	return r.stageSwitchFBF(out)
 }
 
 // stageEjection grants the reception channel(s): the Deadlock Buffers first
@@ -216,7 +274,7 @@ func (r *Router) stageEjection(out []Transfer) []Transfer {
 // matching of input ports to output ports, one flit per port per cycle,
 // with the Deadlock Buffer as an extra crossbar input that has priority on
 // its output (so the recovery lane always progresses).
-func (r *Router) stageSwitchFBF(res *Reservations, out []Transfer) []Transfer {
+func (r *Router) stageSwitchFBF(out []Transfer) []Transfer {
 	deg := r.topo.Degree()
 	var inputUsed [64]bool // deg+1 <= 64 always (n <= 31 dims)
 	// Ejection grants above already consumed their input ports this cycle.
@@ -240,7 +298,7 @@ func (r *Router) stageSwitchFBF(res *Reservations, out []Transfer) []Transfer {
 		sent := false
 		for lane := range r.dbs {
 			db := &r.dbs[lane]
-			if !db.buf.Empty() && db.route == q && res.ReserveDB(r.neighbors[q], lane, db.pkt) {
+			if !db.buf.Empty() && db.route == q && dbStageable(r.neighbors[q], lane, db.pkt) {
 				out = append(out, Transfer{From: r, FromDB: true, FromDBLane: lane,
 					To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: lane})
 				sent = true
@@ -250,7 +308,7 @@ func (r *Router) stageSwitchFBF(res *Reservations, out []Transfer) []Transfer {
 		if sent {
 			continue
 		}
-		out = r.arbitrateInput(q, total, res, &inputUsed, out)
+		out = r.arbitrateInput(q, total, &inputUsed, out)
 	}
 	return out
 }
@@ -259,7 +317,7 @@ func (r *Router) stageSwitchFBF(res *Reservations, out []Transfer) []Transfer {
 // round-robin starting from the port's rotating offset. It is the per-flit
 // output arbitration of the flit-by-flit policy and the lending fallback of
 // the packet-by-packet policy.
-func (r *Router) arbitrateInput(q, total int, res *Reservations, inputUsed *[64]bool, out []Transfer) []Transfer {
+func (r *Router) arbitrateInput(q, total int, inputUsed *[64]bool, out []Transfer) []Transfer {
 	off := r.swArbOffset[q]
 	for i := 0; i < total; i++ {
 		port, vc := r.nthInputVC((off + i) % total)
@@ -271,7 +329,7 @@ func (r *Router) arbitrateInput(q, total int, res *Reservations, inputUsed *[64]
 			continue
 		}
 		if ivc.outVC == VCDeadlockBuffer {
-			if !res.ReserveDB(r.neighbors[q], ivc.dbLane, ivc.pkt) {
+			if !dbStageable(r.neighbors[q], ivc.dbLane, ivc.pkt) {
 				continue
 			}
 			out = append(out, Transfer{From: r, FromPort: port, FromVC: vc,
@@ -299,7 +357,11 @@ type Sink interface {
 }
 
 // Commit applies a staged transfer; ejected flits are passed to sink.
+// Transfers marked Dropped by Reservations.Resolve are ignored.
 func Commit(t Transfer, sink Sink) {
+	if t.Dropped {
+		return
+	}
 	fl := t.popSource()
 	switch {
 	case t.Eject:
@@ -388,11 +450,14 @@ func (r *Router) applyHeaderHop(p *packet.Packet, outPort int) {
 
 // TickTimers advances T_elapsed for blocked headers (paper Section 3.1) and
 // clears the per-cycle sent markers. It returns the number of headers that
-// newly crossed T_out this cycle; the observer installed with SetOnTimeout,
-// if any, receives each newly presumed packet (tracing, flight recorder).
-// As a side effect it refreshes the router's telemetry instrumentation
-// (BlockedHeaders, PresumedHeaders, per-VC blocked-cycle counters) — the
-// loop already touches every input VC, so the extra cost is a few adds.
+// newly crossed T_out this cycle; each newly presumed packet is buffered for
+// the observer installed with SetOnTimeout (tracing, flight recorder), which
+// runs when the caller invokes FlushTimeouts — deferred so that TickTimers
+// touches only router-local state and disjoint router shards can tick
+// concurrently. As a side effect it refreshes the router's telemetry
+// instrumentation (BlockedHeaders, PresumedHeaders, per-VC blocked-cycle
+// counters) — the loop already touches every input VC, so the extra cost is
+// a few adds.
 func (r *Router) TickTimers() int {
 	newly := 0
 	blocked, presumed := 0, 0
@@ -467,7 +532,7 @@ func (r *Router) TickTimers() int {
 				r.stats.TimeoutEvents++
 				newly++
 				if r.onTimeout != nil {
-					r.onTimeout(head.Pkt)
+					r.pendingTimeouts = append(r.pendingTimeouts, head.Pkt)
 				}
 			}
 		}
@@ -475,6 +540,25 @@ func (r *Router) TickTimers() int {
 	r.lastBlocked = blocked
 	r.lastPresumed = presumed
 	return newly
+}
+
+// FlushTimeouts invokes the SetOnTimeout observer for every header newly
+// presumed during the last TickTimers, in detection order, and clears the
+// buffer. The network calls it serially in fixed router order after the
+// (possibly sharded) timer phase, so observer side effects — trace records,
+// flight-recorder triggers — happen in the same order regardless of the
+// kernel's shard count.
+func (r *Router) FlushTimeouts() {
+	if len(r.pendingTimeouts) == 0 {
+		return
+	}
+	for i, p := range r.pendingTimeouts {
+		if r.onTimeout != nil {
+			r.onTimeout(p)
+		}
+		r.pendingTimeouts[i] = nil
+	}
+	r.pendingTimeouts = r.pendingTimeouts[:0]
 }
 
 // strandedHeader reports whether the packet's routing function offers no

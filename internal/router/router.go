@@ -155,8 +155,10 @@ type Router struct {
 	lastPresumed int
 
 	// onTimeout, when set via SetOnTimeout, observes every newly presumed
-	// header (tracing, telemetry flight recorder).
-	onTimeout func(*packet.Packet)
+	// header (tracing, telemetry flight recorder). TickTimers buffers the
+	// newly presumed packets in pendingTimeouts; FlushTimeouts drains them.
+	onTimeout       func(*packet.Packet)
+	pendingTimeouts []*packet.Packet
 }
 
 // New constructs a router for node. The caller wires neighbors with Connect

@@ -57,11 +57,12 @@ func (b *testBench) step() {
 	for _, r := range b.routers {
 		r.StageRouting()
 	}
-	b.res.Reset()
 	var xfers []Transfer
 	for _, r := range b.routers {
-		xfers = r.StageSwitch(b.res, xfers)
+		xfers = r.StageSwitch(xfers)
 	}
+	b.res.Reset()
+	b.res.Resolve(xfers)
 	for _, t := range xfers {
 		Commit(t, b)
 	}

@@ -1,0 +1,113 @@
+package router
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+)
+
+// InputFlitAt returns buffered flit i (0 == head) of input VC (port, vc).
+// Invariant checkers walk buffers with it.
+func (r *Router) InputFlitAt(port, vc, i int) packet.Flit { return r.inputs[port][vc].buf.At(i) }
+
+// DBLaneLen returns the number of flits buffered in the given Deadlock
+// Buffer lane.
+func (r *Router) DBLaneLen(lane int) int { return r.dbs[lane].buf.Len() }
+
+// DBFlitAt returns buffered flit i (0 == head) of the given Deadlock Buffer
+// lane.
+func (r *Router) DBFlitAt(lane, i int) packet.Flit { return r.dbs[lane].buf.At(i) }
+
+// AppendState appends a deterministic binary encoding of the router's full
+// microarchitectural state to b and returns the extended slice: every input
+// VC (owner, route grants, buffered flits, timer state), output VC (owner,
+// credits), Deadlock Buffer lane, crossbar connection, arbitration offset,
+// adaptive-timeout state and event counter. The golden-digest conformance
+// suite hashes it to prove that sharded and serial kernels leave the network
+// in byte-identical states; any field that can influence a future cycle must
+// be included here.
+func (r *Router) AppendState(b []byte) []byte {
+	put := func(v int64) {
+		b = binary.LittleEndian.AppendUint64(b, uint64(v))
+	}
+	putBool := func(v bool) {
+		if v {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	putPkt := func(p *packet.Packet) {
+		if p == nil {
+			put(-1)
+			return
+		}
+		put(int64(p.ID))
+	}
+	putFifo := func(f *fifo) {
+		put(int64(f.Len()))
+		for i := 0; i < f.Len(); i++ {
+			fl := f.At(i)
+			putPkt(fl.Pkt)
+			put(int64(fl.Seq))
+		}
+	}
+
+	put(int64(r.node))
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			putPkt(ivc.pkt)
+			put(int64(ivc.route))
+			put(int64(ivc.outVC))
+			put(int64(ivc.dbLane))
+			put(int64(ivc.waiting))
+			putBool(ivc.presumed)
+			putBool(ivc.sent)
+			putFifo(&ivc.buf)
+		}
+	}
+	for q := range r.outputs {
+		for v := range r.outputs[q] {
+			o := &r.outputs[q][v]
+			putPkt(o.owner)
+			put(int64(o.credits))
+		}
+	}
+	for lane := range r.dbs {
+		db := &r.dbs[lane]
+		putPkt(db.pkt)
+		put(int64(db.route))
+		putFifo(&db.buf)
+	}
+	for q := range r.conn {
+		c := &r.conn[q]
+		put(int64(c.inPort))
+		put(int64(c.inVC))
+		putBool(c.db)
+		putBool(c.saved)
+		put(int64(c.savedPort))
+		put(int64(c.savedVC))
+	}
+	put(int64(r.vcArbOffset))
+	for _, off := range r.swArbOffset {
+		put(int64(off))
+	}
+	put(int64(r.effTout))
+	put(int64(r.decayCount))
+	put(r.stats.TimeoutEvents)
+	put(r.stats.FalseDetections)
+	put(r.stats.Recoveries)
+	put(r.stats.MisrouteHops)
+	put(r.stats.FlitsSwitched)
+	put(r.stats.FlitsEjected)
+	put(r.stats.DBFlitsCarried)
+	put(r.stats.Preemptions)
+	put(r.stats.BlockedCycles)
+	for _, c := range r.blockedByVC {
+		put(c)
+	}
+	put(int64(r.lastBlocked))
+	put(int64(r.lastPresumed))
+	return b
+}

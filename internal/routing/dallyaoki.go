@@ -65,8 +65,8 @@ func (a dallyAoki) Route(v View, p *packet.Packet, buf []Candidate) []Candidate 
 	}
 
 	// Adaptive class: every minimal port, every adaptive VC.
-	for _, port := range topo.MinimalPorts(v.Node(), p.Dst) {
-		if !v.LinkExists(port) {
+	for port := 0; port < topo.Degree(); port++ {
+		if !topo.IsMinimal(v.Node(), p.Dst, port) || !v.LinkExists(port) {
 			continue
 		}
 		for vc := 0; vc < vcs-det; vc++ {

@@ -46,10 +46,9 @@ func (disha) MinVCs(topology.Topology) int { return 1 }
 
 func (d disha) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
 	topo := v.Topo()
-	minimal := topo.MinimalPorts(v.Node(), p.Dst)
 	isMinimal := 0
-	for _, port := range minimal {
-		if !v.LinkExists(port) {
+	for port := 0; port < topo.Degree(); port++ {
+		if !topo.IsMinimal(v.Node(), p.Dst, port) || !v.LinkExists(port) {
 			continue
 		}
 		isMinimal |= 1 << uint(port)

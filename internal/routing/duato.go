@@ -67,8 +67,8 @@ func (a duato) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
 	// the strict variant a packet that has escaped stays on the escape
 	// subnetwork (OnDeterministic doubles as the "escaped" flag).
 	if !a.strict || !p.OnDeterministic {
-		for _, port := range topo.MinimalPorts(v.Node(), p.Dst) {
-			if !v.LinkExists(port) {
+		for port := 0; port < topo.Degree(); port++ {
+			if !topo.IsMinimal(v.Node(), p.Dst, port) || !v.LinkExists(port) {
 				continue
 			}
 			for vc := esc; vc < vcs; vc++ {

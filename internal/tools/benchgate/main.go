@@ -1,0 +1,116 @@
+// Command benchgate is a dependency-free benchstat-style gate for CI: it
+// parses `go test -bench` output, summarizes two benchmarks as medians of
+// their ns/op samples, and exits non-zero when the candidate's median
+// exceeds the baseline's by more than the allowed ratio.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkStep(Serial|Sharded)/torus16' -count 5 . | tee bench.txt
+//	go run ./internal/tools/benchgate \
+//	    -serial BenchmarkStepSerial/torus16 \
+//	    -sharded BenchmarkStepSharded/torus16 \
+//	    -max-ratio 1.0 bench.txt
+//
+// With -max-ratio 1.0 the sharded kernel must be at least as fast as serial
+// (median over the -count repetitions, which absorbs scheduler noise the way
+// benchstat's summary statistics do).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		serial   = flag.String("serial", "BenchmarkStepSerial/torus16", "baseline benchmark name (sub-benchmark path, GOMAXPROCS suffix ignored)")
+		sharded  = flag.String("sharded", "BenchmarkStepSharded/torus16", "candidate benchmark name")
+		maxRatio = flag.Float64("max-ratio", 1.0, "fail when candidate median ns/op > baseline median * ratio")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] bench-output.txt")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err.Error())
+	}
+	defer f.Close()
+
+	samples := map[string][]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		name, nsPerOp, ok := parseBenchLine(sc.Text())
+		if ok {
+			samples[name] = append(samples[name], nsPerOp)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err.Error())
+	}
+
+	base := median(samples[*serial])
+	cand := median(samples[*sharded])
+	if base == 0 {
+		fail(fmt.Sprintf("no samples for baseline %q", *serial))
+	}
+	if cand == 0 {
+		fail(fmt.Sprintf("no samples for candidate %q", *sharded))
+	}
+	ratio := cand / base
+	fmt.Printf("benchgate: %s median %.0f ns/op (%d samples)\n", *serial, base, len(samples[*serial]))
+	fmt.Printf("benchgate: %s median %.0f ns/op (%d samples)\n", *sharded, cand, len(samples[*sharded]))
+	fmt.Printf("benchgate: ratio %.3f (limit %.3f)\n", ratio, *maxRatio)
+	if ratio > *maxRatio {
+		fail(fmt.Sprintf("candidate regressed: %.3f > %.3f", ratio, *maxRatio))
+	}
+}
+
+// parseBenchLine extracts the benchmark name (GOMAXPROCS suffix stripped)
+// and ns/op from one `go test -bench` result line.
+func parseBenchLine(line string) (name string, nsPerOp float64, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", 0, false
+	}
+	name = fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // strip -<GOMAXPROCS>
+		}
+	}
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] == "ns/op" {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return name, v, true
+		}
+	}
+	return "", 0, false
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "benchgate:", msg)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkStepSerial/torus16-8   \t     400\t   123456 ns/op\t       0 B/op\t       0 allocs/op\t       256 routers/step"
+	name, ns, ok := parseBenchLine(line)
+	if !ok || name != "BenchmarkStepSerial/torus16" || ns != 123456 {
+		t.Fatalf("parsed (%q, %v, %v)", name, ns, ok)
+	}
+	for _, bad := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \trepro\t1.234s",
+		"BenchmarkNoNsop 10 5 MB/s",
+	} {
+		if _, _, ok := parseBenchLine(bad); ok {
+			t.Fatalf("line %q unexpectedly parsed", bad)
+		}
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}

@@ -96,6 +96,11 @@ type Topology interface {
 	// MinimalPorts returns the set of output ports at from that lie on some
 	// minimal path to to. Empty iff from == to.
 	MinimalPorts(from, to Node) []int
+	// IsMinimal reports whether taking port at from lies on some minimal
+	// path to to — the allocation-free membership test for MinimalPorts,
+	// which routing hot paths use: iterating ports in numeric order and
+	// filtering with IsMinimal yields exactly MinimalPorts' sequence.
+	IsMinimal(from, to Node, port int) bool
 	// Distance returns the minimal hop count between two nodes.
 	Distance(from, to Node) int
 	// CrossesDateline reports whether taking port at node n traverses the
@@ -184,7 +189,9 @@ func newCube(wrap bool, radix []int) (Topology, error) {
 		if k < 2 {
 			return nil, fmt.Errorf("topology: dimension %d has radix %d; need >= 2", d, k)
 		}
-		if nodes > 1<<20 {
+		// Bound the product before multiplying: a single huge radix must be
+		// rejected here, not explode the allocation below (or overflow int).
+		if k > 1<<20 || nodes > (1<<20)/k {
 			return nil, fmt.Errorf("topology: network too large")
 		}
 		nodes *= k
@@ -324,6 +331,21 @@ func (c *cube) MinimalPorts(from, to Node) []int {
 		}
 	}
 	return ports
+}
+
+func (c *cube) IsMinimal(from, to Node, port int) bool {
+	d := PortDim(port)
+	if d >= len(c.radix) {
+		return false
+	}
+	signs, count, _ := c.dimSigns(from, to, d)
+	s := PortSign(port)
+	for i := 0; i < count; i++ {
+		if signs[i] == s {
+			return true
+		}
+	}
+	return false
 }
 
 func (c *cube) Distance(from, to Node) int {
