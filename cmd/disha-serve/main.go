@@ -16,6 +16,12 @@
 //
 //	# engine progress + server totals (Prometheus text format)
 //	curl -s localhost:8080/metrics
+//
+// With -data-dir the server persists sweep journals and mid-point
+// checkpoints, so a killed server resumes a resubmitted identical request
+// from where it died instead of recomputing:
+//
+//	disha-serve -addr :8080 -data-dir /var/lib/disha -checkpoint-every 2000
 package main
 
 import (
@@ -34,12 +40,22 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "listen address")
-		queue = flag.Int("queue", 64, "maximum queued (not yet running) jobs")
+		addr    = flag.String("addr", ":8080", "listen address")
+		queue   = flag.Int("queue", 64, "maximum queued (not yet running) jobs")
+		dataDir = flag.String("data-dir", "", "persistence directory: sweep journals and mid-point checkpoints live here, so killed jobs resume when an identical request is resubmitted (empty = in-memory only)")
+		ckptN   = flag.Int("checkpoint-every", 2000, "cycles between mid-point checkpoints when -data-dir is set (0 = journal-only persistence)")
 	)
 	flag.Parse()
 
-	srv := jobserver.New(*queue)
+	srv, err := jobserver.NewWithOptions(jobserver.Options{
+		QueueDepth:      *queue,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptN,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "disha-serve:", err)
+		os.Exit(1)
+	}
 	defer srv.Close()
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -52,6 +52,11 @@ func main() {
 		shards    = flag.Int("shards", 0, "kernel worker shards per cycle (0/1 = serial; any value gives identical results)")
 		wfg       = flag.Bool("wfg", false, "run the wait-for-graph analyzer at the end")
 
+		ckptPath    = flag.String("checkpoint", "disha-sim.ckpt", "checkpoint file path (used by -checkpoint-every and -restore)")
+		ckptEvery   = flag.Int("checkpoint-every", 0, "atomically save a checkpoint every N cycles (0 = off)")
+		restore     = flag.Bool("restore", false, "restore the -checkpoint file before running; -cycles then counts total simulated cycles including the restored progress")
+		fingerprint = flag.Bool("fingerprint", false, "print the final full-state SHA-256 fingerprint (restored runs match uninterrupted ones)")
+
 		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
 		traceOut    = flag.String("trace-out", "", "write telemetry samples, trace events, flight-recorder snapshots and final counters as JSON Lines to this file")
 		sampleEvery = flag.Int("sample-every", 100, "telemetry sampling period in cycles (negative disables sampling)")
@@ -141,6 +146,13 @@ func main() {
 	fail(err)
 	defer sim.Close()
 
+	// Restore must happen while the simulator is still fresh: the snapshot
+	// carries a configuration guard, so mismatched flags fail loudly here.
+	if *restore {
+		fail(sim.LoadCheckpoint(*ckptPath))
+		fmt.Fprintf(os.Stderr, "disha-sim: restored %s at cycle %d\n", *ckptPath, sim.Now())
+	}
+
 	// Observability: attach the telemetry hub when either output is wanted.
 	var (
 		tel       *disha.Telemetry
@@ -185,7 +197,22 @@ func main() {
 
 	var lat disha.LatencyCollector
 	sim.OnDeliver(func(p *disha.Packet) { lat.Add(float64(p.Age())) })
-	sim.Run(*cycles)
+	// -cycles is the absolute target, so a restored run stops at the same
+	// cycle as the uninterrupted one it resumes. Checkpoints land exactly on
+	// multiples of -checkpoint-every, making saves cycle-deterministic too.
+	for int64(sim.Now()) < int64(*cycles) {
+		step := int64(*cycles) - int64(sim.Now())
+		if *ckptEvery > 0 {
+			next := (int64(sim.Now())/int64(*ckptEvery) + 1) * int64(*ckptEvery)
+			if next-int64(sim.Now()) < step {
+				step = next - int64(sim.Now())
+			}
+		}
+		sim.Run(int(step))
+		if *ckptEvery > 0 && int64(sim.Now())%int64(*ckptEvery) == 0 {
+			fail(sim.SaveCheckpoint(*ckptPath))
+		}
+	}
 	drained := false
 	if *drain > 0 {
 		drained = sim.Drain(*drain)
@@ -212,6 +239,9 @@ func main() {
 		res := sim.AnalyzeDeadlock()
 		fmt.Printf("wfg blocked:       %d headers\n", len(res.Blocked))
 		fmt.Printf("wfg true deadlock: %v (%d members)\n", res.TrueDeadlock(), len(res.Deadlocked))
+	}
+	if *fingerprint {
+		fmt.Printf("fingerprint:       %s\n", sim.Fingerprint())
 	}
 	if *metricsAddr != "" && *hold > 0 {
 		fmt.Fprintf(os.Stderr, "disha-sim: holding metrics endpoint for %v\n", *hold)

@@ -7,7 +7,10 @@
 // Points fan out across -parallel workers (default: all cores) with
 // identity-keyed seeds, so the results are bit-identical to a serial run.
 // -journal checkpoints completed points to a JSONL file and -resume replays
-// it, so a killed sweep restarts where it left off. If any point fails the
+// it, so a killed sweep restarts where it left off. Adding -checkpoint-dir
+// with -checkpoint-every additionally snapshots in-flight points every N
+// cycles, so even the point that was running when the process died resumes
+// mid-flight — with byte-identical CSV output. If any point fails the
 // command prints the partial results plus a failure summary and exits
 // non-zero.
 //
@@ -19,6 +22,7 @@
 //	disha-sweep -fig 4 -replicas 5                      # mean ± 95% CI over 5 seeds
 //	disha-sweep -fig all -journal sweep.journal.jsonl   # checkpoint...
 //	disha-sweep -fig all -journal sweep.journal.jsonl -resume   # ...and resume
+//	disha-sweep -fig 4 -journal s.jsonl -checkpoint-dir ckpt -checkpoint-every 2000
 package main
 
 import (
@@ -50,12 +54,17 @@ func main() {
 		retries  = flag.Int("retries", 1, "extra attempts for a failing point")
 		journal  = flag.String("journal", "", "JSONL checkpoint file for completed points (optional)")
 		resume   = flag.Bool("resume", false, "resume from -journal instead of starting fresh")
+		ckptDir  = flag.String("checkpoint-dir", "", "directory for mid-point checkpoints; killed points resume mid-flight with byte-identical results (requires -checkpoint-every)")
+		ckptN    = flag.Int("checkpoint-every", 0, "cycles between mid-point checkpoints (0 = off; requires -checkpoint-dir)")
 		metrics  = flag.String("metrics-addr", "", "serve engine progress on this address at /metrics (optional, e.g. :9090)")
 	)
 	flag.Parse()
 
 	if *resume && *journal == "" {
 		fail(fmt.Errorf("-resume requires -journal"))
+	}
+	if (*ckptDir == "") != (*ckptN == 0) {
+		fail(fmt.Errorf("-checkpoint-dir and -checkpoint-every must be set together"))
 	}
 
 	var sc disha.ExperimentScale
@@ -113,13 +122,15 @@ func main() {
 			progress = nil
 		}
 		res, report, err := spec.RunWith(disha.SweepOptions{
-			Parallel: *parallel,
-			Replicas: *replicas,
-			Retries:  *retries,
-			Journal:  *journal,
-			Resume:   *resume || *journal != "", // a shared journal accumulates across figures
-			Progress: progress,
-			Metrics:  engineMetrics,
+			Parallel:        *parallel,
+			Replicas:        *replicas,
+			Retries:         *retries,
+			Journal:         *journal,
+			Resume:          *resume || *journal != "", // a shared journal accumulates across figures
+			CheckpointEvery: *ckptN,
+			CheckpointDir:   *ckptDir,
+			Progress:        progress,
+			Metrics:         engineMetrics,
 		})
 		if report != nil {
 			totalPoints += report.Total

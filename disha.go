@@ -32,8 +32,10 @@
 package disha
 
 import (
+	"bytes"
 	"fmt"
 	"io"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/costmodel"
@@ -46,6 +48,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/routing"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -318,6 +321,48 @@ func (s *Simulator) AnalyzeDeadlock() core.WFGResult {
 func (s *Simulator) FailLink(node Node, port int) error {
 	return s.net.FailLink(node, port)
 }
+
+// --- Checkpoint / restore -----------------------------------------------------
+
+// Snapshot writes a versioned binary serialization of the complete
+// simulation state to w — every buffer, credit, in-flight flit, RNG stream,
+// the Token and all counters. Restoring it into a simulator built with the
+// identical SimConfig reproduces the exact per-cycle state fingerprints of
+// an uninterrupted run (see ARCHITECTURE.md, "Checkpoint/restore").
+func (s *Simulator) Snapshot(w io.Writer) error { return s.net.Snapshot(w) }
+
+// Restore loads a Snapshot stream into this simulator. The simulator must
+// be freshly built with the identical SimConfig and never stepped; Shards
+// alone may differ, since the sharded kernel is byte-identical to serial.
+// On error the simulator is unusable and must be discarded.
+func (s *Simulator) Restore(r io.Reader) error { return s.net.Restore(r) }
+
+// SaveCheckpoint atomically writes the simulation state to a file: the
+// checkpoint appears completely or not at all, so a crash mid-save can
+// never corrupt an earlier checkpoint at the same path.
+func (s *Simulator) SaveCheckpoint(path string) error {
+	var buf bytes.Buffer
+	if err := s.net.Snapshot(&buf); err != nil {
+		return err
+	}
+	return snapshot.WriteFileAtomic(path, buf.Bytes())
+}
+
+// LoadCheckpoint restores simulation state saved by SaveCheckpoint into
+// this freshly built simulator.
+func (s *Simulator) LoadCheckpoint(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.net.Restore(f)
+}
+
+// Fingerprint returns a SHA-256 hex digest of the complete simulation
+// state. Two simulators with equal fingerprints are in identical states;
+// cmd/disha-bisect uses it to locate the first cycle two runs diverge.
+func (s *Simulator) Fingerprint() string { return s.net.FingerprintHex() }
 
 // TraceEvent is one recorded simulation event.
 type TraceEvent = trace.Event

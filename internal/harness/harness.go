@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 
@@ -127,6 +128,18 @@ type RunOptions struct {
 	// file; Resume replays it so a killed sweep restarts where it left off.
 	Journal string
 	Resume  bool
+	// CheckpointEvery, when positive and CheckpointDir is set, snapshots
+	// every in-progress point's complete simulation state each time that
+	// many cycles (warm-up plus measurement) elapse. A killed sweep then
+	// resumes mid-point from the last checkpoint — not just at point
+	// granularity like the journal — and the resumed run's results are
+	// byte-identical to an uninterrupted one. Checkpoint files are removed
+	// as their points complete.
+	CheckpointEvery int
+	// CheckpointDir is the directory holding per-point checkpoint files
+	// (created if missing). Point identity is embedded in each file, so a
+	// directory can safely be shared across different sweeps.
+	CheckpointDir string
 	// Progress, if non-nil, receives one line per settled point.
 	Progress func(string)
 	// Status, if non-nil, receives the engine's structured progress
@@ -159,6 +172,11 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 	if err := s.normalize(); err != nil {
 		return nil, nil, err
 	}
+	if opts.CheckpointEvery > 0 && opts.CheckpointDir != "" {
+		if err := os.MkdirAll(opts.CheckpointDir, 0o755); err != nil {
+			return nil, nil, fmt.Errorf("harness: checkpoint dir: %w", err)
+		}
+	}
 	replicas := opts.Replicas
 	if replicas <= 0 {
 		replicas = s.Replicas
@@ -182,10 +200,11 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 			for r := 0; r < replicas; r++ {
 				key := fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, alg.label(), load, r)
 				meta[key] = pointJob{alg: alg, load: load, replica: r}
+				ck := newCheckpointer(opts, key)
 				jobs = append(jobs, engine.Job[PointResult]{
 					Key: key,
 					Run: func(seed uint64) (PointResult, error) {
-						return s.runPoint(alg, load, seed)
+						return s.runPoint(alg, load, seed, ck)
 					},
 				})
 			}
@@ -358,7 +377,13 @@ func (s *Spec) normalize() error {
 // seed. It is called concurrently by engine workers: everything it touches
 // (topology, pattern, network) is built fresh per call, and the stateless
 // algorithm/selection values are safe to share.
-func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64) (PointResult, error) {
+//
+// A non-nil checkpointer makes the point resumable: progress is persisted
+// every CheckpointEvery cycles, a previous checkpoint (if present) is loaded
+// before the first step, and because the simulation is deterministic the
+// resumed point finishes with results byte-identical to an uninterrupted run
+// (TestCheckpointResumeIdenticalCSV).
+func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64, ck *checkpointer) (PointResult, error) {
 	topo := s.Topo()
 	pattern, err := s.Pattern(topo)
 	if err != nil {
@@ -395,49 +420,88 @@ func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64) (PointResult, er
 	}
 	defer net.Close()
 
+	// The resumable cursor: a fresh start begins at zero everywhere; with
+	// checkpointing enabled, a prior checkpoint reloads the cursor, the
+	// collectors and the network, and the loops below continue from it.
+	var age, netLat, batch metrics.Collector
+	st := pointProgress{nextWFG: s.WFGSampleEvery}
+	if ck != nil {
+		if _, err := ck.load(&st, &age, &netLat, &batch, net); err != nil {
+			return PointResult{}, err
+		}
+		ck.arm(st.warmupRan + st.ran)
+	}
+
 	// Warm-up: run without collecting.
-	net.Run(s.Warmup)
-	startCounters := net.Counters()
+	for st.warmupRan < s.Warmup {
+		step := s.Warmup - st.warmupRan
+		if ck != nil {
+			step = ck.clamp(step, st.warmupRan+st.ran)
+		}
+		net.Run(step)
+		st.warmupRan += step
+		if ck != nil && ck.due(st.warmupRan+st.ran) {
+			if err := ck.save(&st, &age, &netLat, &batch, net); err != nil {
+				return PointResult{}, err
+			}
+		}
+	}
+	if !st.warmed {
+		st.warmed = true
+		st.startCounters = net.Counters()
+	}
 
 	// Measurement: collect latency of every packet delivered in-window,
-	// batched for the confidence interval.
-	var age, netLat metrics.Collector
-	batchMeans := make([]float64, 0, s.Batches)
-	var batch metrics.Collector
+	// batched for the confidence interval. (The callback is reattached on
+	// every entry — restore does not carry it — so a resumed point collects
+	// exactly the deliveries an uninterrupted run would.)
 	net.OnDeliver = func(p *packet.Packet) {
 		age.Add(float64(p.Age()))
 		netLat.Add(float64(p.NetworkLatency()))
 		batch.Add(float64(p.Age()))
 	}
 	pr := PointResult{Load: load}
-	ran := 0
-	nextWFG := s.WFGSampleEvery
-	for b := 0; b < s.Batches; b++ {
+	for b := st.batch; b < s.Batches; b++ {
+		st.batch = b
 		target := (b + 1) * s.Measure / s.Batches
-		for ran < target {
-			step := target - ran
-			if s.WFGSampleEvery > 0 && nextWFG-ran < step {
-				step = nextWFG - ran
+		for st.ran < target {
+			step := target - st.ran
+			if s.WFGSampleEvery > 0 && st.nextWFG-st.ran < step {
+				step = st.nextWFG - st.ran
+			}
+			if ck != nil {
+				step = ck.clamp(step, st.warmupRan+st.ran)
 			}
 			net.Run(step)
-			ran += step
-			if s.WFGSampleEvery > 0 && ran >= nextWFG {
+			st.ran += step
+			if s.WFGSampleEvery > 0 && st.ran >= st.nextWFG {
 				w := core.AnalyzeWFG(net.Routers())
-				pr.WFGSamples++
+				st.wfgSamples++
 				if w.TrueDeadlock() {
-					pr.TrueDeadlocks++
+					st.trueDeadlocks++
 				}
-				nextWFG += s.WFGSampleEvery
+				st.nextWFG += s.WFGSampleEvery
+			}
+			if ck != nil && ck.due(st.warmupRan+st.ran) {
+				if err := ck.save(&st, &age, &netLat, &batch, net); err != nil {
+					return PointResult{}, err
+				}
 			}
 		}
 		if batch.Count() > 0 {
-			batchMeans = append(batchMeans, batch.Mean())
+			st.batchMeans = append(st.batchMeans, batch.Mean())
 		}
 		batch.Reset()
 	}
-	pr.LatencyCI95 = metrics.CI95(batchMeans)
+	pr.WFGSamples = st.wfgSamples
+	pr.TrueDeadlocks = st.trueDeadlocks
+	pr.LatencyCI95 = metrics.CI95(st.batchMeans)
 	end := net.Counters()
 
+	if ck != nil {
+		ck.finish()
+	}
+	startCounters := st.startCounters
 	delivered := end.PacketsDelivered - startCounters.PacketsDelivered
 	flits := end.FlitsDelivered - startCounters.FlitsDelivered
 	pr.Delivered = delivered
@@ -454,8 +518,8 @@ func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64) (PointResult, er
 
 	// Normalized accepted traffic: flits/node/cycle over the network's
 	// capacity (the load normalization of Section 4.1 in reverse).
-	st := traffic.MeasureMean(topo, pattern, 64)
-	capacityFPC := float64(traffic.TotalChannels(topo)) / (float64(topo.Nodes()) * st.MeanDistance)
+	ms := traffic.MeasureMean(topo, pattern, 64)
+	capacityFPC := float64(traffic.TotalChannels(topo)) / (float64(topo.Nodes()) * ms.MeanDistance)
 	accepted := float64(flits) / (float64(s.Measure) * float64(topo.Nodes()))
 	pr.Throughput = accepted / capacityFPC
 	return pr, nil
@@ -526,4 +590,3 @@ func (r *Result) SaturationSummary() string {
 	}
 	return sb.String()
 }
-

@@ -21,9 +21,12 @@
 package jobserver
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,6 +141,9 @@ type Server struct {
 	queue chan string
 	next  int
 
+	dataDir         string
+	checkpointEvery int
+
 	reg *telemetry.Registry
 	em  *engine.Metrics
 
@@ -149,17 +155,54 @@ type Server struct {
 	done chan struct{}
 }
 
+// Options configures a job server.
+type Options struct {
+	// QueueDepth bounds the number of jobs waiting to run (submissions
+	// beyond it get 503); 0 means 64.
+	QueueDepth int
+	// DataDir, when non-empty, makes jobs durable: every sweep keeps a
+	// point-granularity journal there, keyed by a hash of the request, so a
+	// killed server that is restarted with the same DataDir resumes an
+	// identical resubmitted request where it left off instead of recomputing
+	// finished points. The directory is created if missing.
+	DataDir string
+	// CheckpointEvery additionally snapshots each in-progress point's full
+	// simulation state to DataDir every that many cycles, so resumption is
+	// mid-point, not just between points (see harness.RunOptions). It is
+	// ignored without DataDir; 0 disables mid-point checkpointing.
+	CheckpointEvery int
+}
+
 // New starts a job server and its runner goroutine. queueDepth bounds the
 // number of jobs waiting to run (submissions beyond it get 503); 0 means 64.
 func New(queueDepth int) *Server {
+	s, err := NewWithOptions(Options{QueueDepth: queueDepth})
+	if err != nil {
+		// Unreachable: without a DataDir nothing touches the filesystem.
+		panic(err)
+	}
+	return s
+}
+
+// NewWithOptions starts a job server with full configuration; it fails only
+// when a requested DataDir cannot be created.
+func NewWithOptions(opts Options) (*Server, error) {
+	queueDepth := opts.QueueDepth
 	if queueDepth <= 0 {
 		queueDepth = 64
 	}
+	if opts.DataDir != "" {
+		if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("jobserver: data dir: %w", err)
+		}
+	}
 	s := &Server{
-		jobs:  make(map[string]*job),
-		queue: make(chan string, queueDepth),
-		reg:   telemetry.NewRegistry(),
-		done:  make(chan struct{}),
+		jobs:            make(map[string]*job),
+		queue:           make(chan string, queueDepth),
+		dataDir:         opts.DataDir,
+		checkpointEvery: opts.CheckpointEvery,
+		reg:             telemetry.NewRegistry(),
+		done:            make(chan struct{}),
 	}
 	// Server totals are pull-style metrics over atomics so the registry can
 	// render them from any goroutine; the engine's own progress metrics
@@ -172,7 +215,20 @@ func New(queueDepth int) *Server {
 	s.em = engine.NewMetrics(s.reg)
 	s.em.Publish()
 	go s.runner()
-	return s
+	return s, nil
+}
+
+// requestHash derives the stable on-disk identity of a sweep request from
+// its canonical JSON encoding: identical requests share journal and
+// checkpoint files, different requests can never collide on them.
+func requestHash(req SweepRequest) string {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		// Unreachable: SweepRequest is plain data.
+		panic(err)
+	}
+	sum := sha256.Sum256(raw)
+	return fmt.Sprintf("%x", sum[:8])
 }
 
 // Close stops the runner after the in-flight job (if any) finishes. Submits
@@ -204,23 +260,33 @@ func (s *Server) runJob(id string) {
 	req := j.status.Request
 	s.mu.Unlock()
 
-	res, report, err := spec.RunWith(harness.RunOptions{
+	opts := harness.RunOptions{
 		Parallel: req.Parallel,
 		Replicas: req.Replicas,
 		Retries:  req.Retries,
 		Metrics:  s.em,
-		Status: func(st engine.Status) {
-			s.mu.Lock()
-			j.status.Progress = Progress{
-				Done:           st.Done,
-				Failed:         st.Failed,
-				Total:          st.Total,
-				ETASeconds:     st.ETA.Seconds(),
-				ElapsedSeconds: st.Elapsed.Seconds(),
-			}
-			s.mu.Unlock()
-		},
-	})
+	}
+	if s.dataDir != "" {
+		h := requestHash(req)
+		opts.Journal = filepath.Join(s.dataDir, "sweep-"+h+".jsonl")
+		opts.Resume = true
+		if s.checkpointEvery > 0 {
+			opts.CheckpointEvery = s.checkpointEvery
+			opts.CheckpointDir = filepath.Join(s.dataDir, "ckpt-"+h)
+		}
+	}
+	opts.Status = func(st engine.Status) {
+		s.mu.Lock()
+		j.status.Progress = Progress{
+			Done:           st.Done,
+			Failed:         st.Failed,
+			Total:          st.Total,
+			ETASeconds:     st.ETA.Seconds(),
+			ElapsedSeconds: st.Elapsed.Seconds(),
+		}
+		s.mu.Unlock()
+	}
+	res, report, err := spec.RunWith(opts)
 
 	s.mu.Lock()
 	end := time.Now()

@@ -107,7 +107,12 @@ func TestSubmitRunAndFetchResults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	csv, _ := func() ([]byte, error) { defer resp.Body.Close(); b := new(bytes.Buffer); _, e := b.ReadFrom(resp.Body); return b.Bytes(), e }()
+	csv, _ := func() ([]byte, error) {
+		defer resp.Body.Close()
+		b := new(bytes.Buffer)
+		_, e := b.ReadFrom(resp.Body)
+		return b.Bytes(), e
+	}()
 	if resp.StatusCode != http.StatusOK || !strings.Contains(string(csv), "series,load,latency,throughput") {
 		t.Fatalf("csv result: code=%d body=%q", resp.StatusCode, csv)
 	}

@@ -31,6 +31,20 @@ func (c *Collector) Reset() {
 	c.sorted = false
 }
 
+// Samples exposes the raw sample slice for checkpoint serialization. The
+// returned slice aliases the collector's storage and reflects its current
+// internal order (insertion order until the first order-statistic query
+// sorts in place) — callers must copy before mutating and snapshot before
+// querying percentiles if insertion order matters.
+func (c *Collector) Samples() []float64 { return c.samples }
+
+// RestoreSamples replaces the collector's contents with vs (taking
+// ownership of the slice), reversing Samples across a checkpoint.
+func (c *Collector) RestoreSamples(vs []float64) {
+	c.samples = vs
+	c.sorted = false
+}
+
 // Mean returns the sample mean, or 0 with no samples.
 func (c *Collector) Mean() float64 {
 	if len(c.samples) == 0 {
@@ -126,6 +140,7 @@ func (c *Collector) Summarize() Summary {
 	}
 }
 
+// String renders the summary on one line for reports and logs.
 func (s Summary) String() string {
 	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.0f p50=%.0f p95=%.0f p99=%.0f max=%.0f",
 		s.Count, s.Mean, s.StdDev, s.Min, s.P50, s.P95, s.P99, s.Max)
@@ -239,6 +254,7 @@ func MeanCI95(xs []float64) MeanCI {
 	return MeanCI{Mean: Mean(xs), CI95: CI95(xs)}
 }
 
+// String renders the estimate as "mean ± half-width".
 func (m MeanCI) String() string {
 	return fmt.Sprintf("%.2f ± %.2f", m.Mean, m.CI95)
 }

@@ -44,6 +44,7 @@ func (n *Network) FailLink(node topology.Node, port int) error {
 		return fmt.Errorf("network: failing link %d/%d would disconnect the network", node, port)
 	}
 	n.failedLinks++
+	n.failedLinkList = append(n.failedLinkList, [2]int{int(node), port})
 	n.rebuildDBTable()
 	return nil
 }

@@ -31,6 +31,7 @@ const (
 	HeaderTail
 )
 
+// String names the flit kind for traces and test failures.
 func (k Kind) String() string {
 	switch k {
 	case Header:
@@ -73,6 +74,7 @@ func (f Flit) IsHeader() bool { return f.Seq == 0 }
 // IsTail reports whether this flit ends its packet.
 func (f Flit) IsTail() bool { return f.Seq == f.Pkt.Length-1 }
 
+// String renders the flit as "pktID/kind[seq/len]" for traces.
 func (f Flit) String() string {
 	return fmt.Sprintf("pkt%d/%s[%d/%d]", f.Pkt.ID, f.Kind(), f.Seq, f.Pkt.Length)
 }
@@ -159,6 +161,7 @@ func (p *Packet) NetworkLatency() sim.Cycle {
 	return p.DeliveredAt - p.InjectedAt
 }
 
+// String summarizes the packet's identity and progress for traces.
 func (p *Packet) String() string {
 	return fmt.Sprintf("pkt%d %d->%d len=%d hops=%d", p.ID, p.Src, p.Dst, p.Length, p.Hops)
 }

@@ -22,6 +22,7 @@ const (
 	PacketByPacket
 )
 
+// String names the allocation policy for configuration dumps.
 func (a AllocPolicy) String() string {
 	switch a {
 	case FlitByFlit:
@@ -96,6 +97,7 @@ const (
 	RecoveryAbortRetry
 )
 
+// String names the recovery mode for configuration dumps.
 func (m RecoveryMode) String() string {
 	switch m {
 	case RecoverySequential:

@@ -426,6 +426,7 @@ func (r *Router) Quiescent() bool {
 	return true
 }
 
+// String identifies the router by coordinate and algorithm for logs.
 func (r *Router) String() string {
 	return fmt.Sprintf("router@%v(%s)", r.topo.Coord(r.node), r.alg.Name())
 }

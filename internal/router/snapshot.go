@@ -1,0 +1,235 @@
+package router
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
+)
+
+// readCycle decodes a sim.Cycle timestamp.
+func readCycle(rd *snapshot.Reader) sim.Cycle { return sim.Cycle(rd.I64()) }
+
+// EncodeState serializes the router's complete dynamic state — every field
+// AppendState hashes, in the same order, plus the router's private RNG
+// stream (which AppendState omits because it never influences a digest
+// comparison between two live networks, but which a restored run needs to
+// reproduce future selection draws). Packets are stored as IDs; the network
+// owns the packet table and rewires pointers on decode.
+//
+// EncodeState and DecodeState must be kept in lockstep with AppendState:
+// any new field that can influence a future cycle must appear in all three.
+func (r *Router) EncodeState(w *snapshot.Writer) {
+	putPkt := func(p *packet.Packet) {
+		if p == nil {
+			w.I64(-1)
+			return
+		}
+		w.I64(int64(p.ID))
+	}
+	putFifo := func(f *fifo) {
+		w.Int(f.Len())
+		for i := 0; i < f.Len(); i++ {
+			fl := f.At(i)
+			putPkt(fl.Pkt)
+			w.Int(fl.Seq)
+		}
+	}
+
+	w.I64(int64(r.node))
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			putPkt(ivc.pkt)
+			w.Int(ivc.route)
+			w.Int(ivc.outVC)
+			w.Int(ivc.dbLane)
+			w.I64(int64(ivc.waiting))
+			w.Bool(ivc.presumed)
+			w.Bool(ivc.sent)
+			putFifo(&ivc.buf)
+		}
+	}
+	for q := range r.outputs {
+		for v := range r.outputs[q] {
+			o := &r.outputs[q][v]
+			putPkt(o.owner)
+			w.Int(o.credits)
+		}
+	}
+	for lane := range r.dbs {
+		db := &r.dbs[lane]
+		putPkt(db.pkt)
+		w.Int(db.route)
+		putFifo(&db.buf)
+	}
+	for q := range r.conn {
+		c := &r.conn[q]
+		w.Int(c.inPort)
+		w.Int(c.inVC)
+		w.Bool(c.db)
+		w.Bool(c.saved)
+		w.Int(c.savedPort)
+		w.Int(c.savedVC)
+	}
+	w.Int(r.vcArbOffset)
+	for _, off := range r.swArbOffset {
+		w.Int(off)
+	}
+	w.I64(int64(r.effTout))
+	w.Int(r.decayCount)
+	w.I64(r.stats.TimeoutEvents)
+	w.I64(r.stats.FalseDetections)
+	w.I64(r.stats.Recoveries)
+	w.I64(r.stats.MisrouteHops)
+	w.I64(r.stats.FlitsSwitched)
+	w.I64(r.stats.FlitsEjected)
+	w.I64(r.stats.DBFlitsCarried)
+	w.I64(r.stats.Preemptions)
+	w.I64(r.stats.BlockedCycles)
+	for _, c := range r.blockedByVC {
+		w.I64(c)
+	}
+	w.Int(r.lastBlocked)
+	w.Int(r.lastPresumed)
+	st := r.rng.State()
+	for _, s := range st {
+		w.U64(s)
+	}
+}
+
+// DecodeState restores the router's dynamic state from a stream produced by
+// EncodeState. resolve maps a packet ID to the shared *packet.Packet decoded
+// by the network (nil for unknown IDs, which is a decoding error). The
+// router must have been freshly constructed with the identical configuration
+// the snapshot was taken under; structural dimensions (ports, VCs, buffer
+// capacities) are validated against the stream, and every index and length
+// is bounds-checked so corrupt input yields an error, never a panic.
+func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet.Packet) error {
+	getPkt := func() *packet.Packet {
+		id := rd.I64()
+		if rd.Err() != nil || id == -1 {
+			return nil
+		}
+		p := resolve(id)
+		if p == nil {
+			rd.Fail("snapshot: router %d references unknown packet %d", r.node, id)
+		}
+		return p
+	}
+	getFifo := func(f *fifo) {
+		for !f.Empty() {
+			f.Pop()
+		}
+		n := rd.Len(f.Cap())
+		for i := 0; i < n; i++ {
+			p := getPkt()
+			seq := rd.Int()
+			if rd.Err() != nil {
+				return
+			}
+			if p == nil {
+				rd.Fail("snapshot: router %d has a buffered flit with no packet", r.node)
+				return
+			}
+			if seq < 0 || seq >= p.Length {
+				rd.Fail("snapshot: router %d flit seq %d outside packet length %d", r.node, seq, p.Length)
+				return
+			}
+			f.Push(packet.Flit{Pkt: p, Seq: seq})
+		}
+	}
+	checkPort := func(v int, what string) int {
+		if rd.Err() == nil && (v < PortEject || v >= r.topo.Degree()) {
+			rd.Fail("snapshot: router %d %s %d out of range", r.node, what, v)
+		}
+		return v
+	}
+
+	rd.Expect(int64(r.node), "router node")
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			ivc := &r.inputs[p][v]
+			ivc.pkt = getPkt()
+			ivc.route = checkPort(rd.Int(), "input route")
+			ivc.outVC = rd.Int()
+			if rd.Err() == nil && (ivc.outVC < VCDeadlockBuffer || ivc.outVC >= r.cfg.VCs) {
+				rd.Fail("snapshot: router %d output VC %d out of range", r.node, ivc.outVC)
+			}
+			ivc.dbLane = rd.Int()
+			if rd.Err() == nil && (ivc.dbLane < 0 || (ivc.dbLane > 0 && ivc.dbLane >= len(r.dbs))) {
+				rd.Fail("snapshot: router %d DB lane %d out of range", r.node, ivc.dbLane)
+			}
+			ivc.waiting = readCycle(rd)
+			ivc.presumed = rd.Bool()
+			ivc.sent = rd.Bool()
+			getFifo(&ivc.buf)
+			if err := rd.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	for q := range r.outputs {
+		for v := range r.outputs[q] {
+			o := &r.outputs[q][v]
+			o.owner = getPkt()
+			o.credits = rd.Int()
+			if rd.Err() == nil && (o.credits < 0 || o.credits > r.cfg.BufferDepth) {
+				rd.Fail("snapshot: router %d credits %d outside [0, %d]", r.node, o.credits, r.cfg.BufferDepth)
+			}
+		}
+	}
+	for lane := range r.dbs {
+		db := &r.dbs[lane]
+		db.pkt = getPkt()
+		db.route = checkPort(rd.Int(), "DB route")
+		getFifo(&db.buf)
+		if err := rd.Err(); err != nil {
+			return err
+		}
+	}
+	for q := range r.conn {
+		c := &r.conn[q]
+		c.inPort = rd.Int()
+		if rd.Err() == nil && (c.inPort < connNone || c.inPort >= len(r.inputs)) {
+			rd.Fail("snapshot: router %d crossbar input port %d out of range", r.node, c.inPort)
+		}
+		c.inVC = rd.Int()
+		c.db = rd.Bool()
+		c.saved = rd.Bool()
+		c.savedPort = rd.Int()
+		if rd.Err() == nil && (c.savedPort < connNone || c.savedPort >= len(r.inputs)) {
+			rd.Fail("snapshot: router %d saved crossbar port %d out of range", r.node, c.savedPort)
+		}
+		c.savedVC = rd.Int()
+	}
+	r.vcArbOffset = rd.Int()
+	for i := range r.swArbOffset {
+		r.swArbOffset[i] = rd.Int()
+	}
+	r.effTout = readCycle(rd)
+	r.decayCount = rd.Int()
+	r.stats.TimeoutEvents = rd.I64()
+	r.stats.FalseDetections = rd.I64()
+	r.stats.Recoveries = rd.I64()
+	r.stats.MisrouteHops = rd.I64()
+	r.stats.FlitsSwitched = rd.I64()
+	r.stats.FlitsEjected = rd.I64()
+	r.stats.DBFlitsCarried = rd.I64()
+	r.stats.Preemptions = rd.I64()
+	r.stats.BlockedCycles = rd.I64()
+	for i := range r.blockedByVC {
+		r.blockedByVC[i] = rd.I64()
+	}
+	r.lastBlocked = rd.Int()
+	r.lastPresumed = rd.Int()
+	var st [4]uint64
+	for i := range st {
+		st[i] = rd.U64()
+	}
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	r.rng.SetState(st)
+	r.pendingTimeouts = r.pendingTimeouts[:0]
+	return nil
+}

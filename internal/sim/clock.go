@@ -20,3 +20,7 @@ func (c *Clock) Tick() Cycle {
 
 // Reset rewinds the clock to cycle 0.
 func (c *Clock) Reset() { c.now = 0 }
+
+// Set jumps the clock to the given cycle; snapshot restore uses it to resume
+// a simulation at the checkpointed time.
+func (c *Clock) Set(now Cycle) { c.now = now }

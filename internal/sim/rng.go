@@ -134,3 +134,15 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 func (r *RNG) Split() *RNG {
 	return NewRNG(r.Uint64() ^ 0xa5a5a5a5a5a5a5a5)
 }
+
+// State returns the generator's full 256-bit internal state. Together with
+// SetState it lets a checkpoint capture and later resume a random stream at
+// the exact draw it was interrupted at (the snapshot subsystem depends on
+// this for byte-identical restored runs).
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with one previously
+// obtained from State, resuming its stream exactly. Any value is accepted:
+// xoshiro256** never panics, and legitimate snapshots never contain the
+// degenerate all-zero state (Seed guards against producing it).
+func (r *RNG) SetState(s [4]uint64) { r.s = s }

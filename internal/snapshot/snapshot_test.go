@@ -1,0 +1,253 @@
+package snapshot
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U64(0xdeadbeefcafef00d)
+	w.I64(-42)
+	w.Int(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.14159)
+	w.F64(math.Inf(-1))
+	w.String("")
+	w.String("hello, 网络")
+	w.F64s(nil)
+	w.F64s([]float64{1.5, -2.5, 0})
+
+	r := NewReader(w.Bytes())
+	if got := r.U64(); got != 0xdeadbeefcafef00d {
+		t.Errorf("U64 = %#x", got)
+	}
+	if got := r.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 7 {
+		t.Errorf("Int = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 inf = %v", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.String(); got != "hello, 网络" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.F64s(); len(got) != 0 {
+		t.Errorf("empty F64s = %v", got)
+	}
+	if got := r.F64s(); len(got) != 3 || got[0] != 1.5 || got[1] != -2.5 || got[2] != 0 {
+		t.Errorf("F64s = %v", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+}
+
+func TestF64NaNBitPattern(t *testing.T) {
+	// A NaN payload must survive bit-identically; comparing values would lose it.
+	nan := math.Float64frombits(0x7ff8000000abc123)
+	var w Writer
+	w.F64(nan)
+	r := NewReader(w.Bytes())
+	if got := math.Float64bits(r.F64()); got != 0x7ff8000000abc123 {
+		t.Fatalf("NaN bits = %#x", got)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3}) // too short for any 8-byte field
+	if r.U64() != 0 || r.Err() == nil {
+		t.Fatal("truncated U64 did not error")
+	}
+	first := r.Err()
+	// Every later read must keep returning zero values and the first error.
+	if r.I64() != 0 || r.Int() != 0 || r.Bool() || r.F64() != 0 || r.String() != "" || r.F64s() != nil {
+		t.Fatal("reads after error returned non-zero values")
+	}
+	if r.Err() != first {
+		t.Fatal("error was replaced after becoming sticky")
+	}
+	if r.Remaining() != 0 {
+		t.Fatal("Remaining must be 0 after an error")
+	}
+}
+
+func TestReaderBoolRejectsJunk(t *testing.T) {
+	r := NewReader([]byte{2})
+	r.Bool()
+	if r.Err() == nil {
+		t.Fatal("bool byte 2 accepted")
+	}
+}
+
+func TestReaderLenBounds(t *testing.T) {
+	var w Writer
+	w.I64(100)
+	r := NewReader(w.Bytes())
+	if r.Len(10) != 0 || r.Err() == nil {
+		t.Fatal("length above max accepted")
+	}
+
+	w = Writer{}
+	w.I64(-1)
+	r = NewReader(w.Bytes())
+	if r.Len(10) != 0 || r.Err() == nil {
+		t.Fatal("negative length accepted")
+	}
+}
+
+func TestReaderStringHostileLength(t *testing.T) {
+	// A string claiming more bytes than remain must error, not allocate.
+	var w Writer
+	w.I64(1 << 40)
+	r := NewReader(w.Bytes())
+	if r.String() != "" || r.Err() == nil {
+		t.Fatal("hostile string length accepted")
+	}
+}
+
+func TestExpect(t *testing.T) {
+	var w Writer
+	w.I64(8)
+	w.String("torus-8x8")
+	r := NewReader(w.Bytes())
+	r.Expect(8, "degree")
+	r.ExpectString("torus-8x8", "topology")
+	if err := r.Err(); err != nil {
+		t.Fatalf("matching Expect failed: %v", err)
+	}
+
+	r = NewReader(w.Bytes())
+	r.Expect(9, "degree")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "degree") {
+		t.Fatalf("Expect mismatch error = %v", err)
+	}
+
+	r = NewReader(w.Bytes())
+	r.Expect(8, "degree")
+	r.ExpectString("mesh-8x8", "topology")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "topology") {
+		t.Fatalf("ExpectString mismatch error = %v", err)
+	}
+}
+
+func TestSealOpen(t *testing.T) {
+	payload := []byte("the quick brown packet")
+	sealed := Seal("TESTMAGC", 3, payload)
+
+	got, err := Open(sealed, "TESTMAGC", 3)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload = %q", got)
+	}
+
+	if _, err := Open(sealed, "OTHERMAG", 3); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+	if _, err := Open(sealed, "TESTMAGC", 4); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	for cut := 0; cut < len(sealed); cut++ {
+		if _, err := Open(sealed[:cut], "TESTMAGC", 3); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+	for pos := 0; pos < len(sealed); pos++ {
+		mut := bytes.Clone(sealed)
+		mut[pos] ^= 1
+		if _, err := Open(mut, "TESTMAGC", 3); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+}
+
+func TestSealEmptyPayload(t *testing.T) {
+	sealed := Seal("TESTMAGC", 1, nil)
+	got, err := Open(sealed, "TESTMAGC", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("payload = %q", got)
+	}
+}
+
+func TestSealBadMagicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short magic did not panic")
+		}
+	}()
+	Seal("short", 1, nil)
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.bin")
+	if err := WriteFileAtomic(path, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v2" {
+		t.Fatalf("content = %q", got)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x")); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+}
+
+// FuzzOpen asserts the container parser never panics and never accepts
+// corrupt input as a different payload.
+func FuzzOpen(f *testing.F) {
+	f.Add(Seal("TESTMAGC", 1, []byte("payload")))
+	f.Add([]byte{})
+	f.Add([]byte("TESTMAGC"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := Open(data, "TESTMAGC", 1)
+		if err != nil {
+			return
+		}
+		// If Open accepts, resealing the payload must reproduce the input.
+		if !bytes.Equal(Seal("TESTMAGC", 1, payload), data) {
+			t.Fatal("Open accepted a container Seal would not produce")
+		}
+	})
+}

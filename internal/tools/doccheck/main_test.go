@@ -1,0 +1,86 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return checkFile(fset, f)
+}
+
+func TestFlagsUndocumentedExports(t *testing.T) {
+	src := `package p
+
+func Exported() {}
+
+type Thing struct{}
+
+func (t *Thing) Method() {}
+
+const Answer = 42
+
+var Global int
+`
+	got := check(t, src)
+	want := []string{"Exported", "Thing", "Thing.Method", "Answer", "Global"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d problems %v, want %d", len(got), got, len(want))
+	}
+	for i, w := range want {
+		if !strings.HasSuffix(got[i], " "+w) {
+			t.Errorf("problem %d = %q, want suffix %q", i, got[i], w)
+		}
+	}
+}
+
+func TestAcceptsDocumentedAndUnexported(t *testing.T) {
+	src := `package p
+
+// Exported does things.
+func Exported() {}
+
+func helper() {}
+
+type inner struct{}
+
+func (i inner) Visible() {} // method on unexported type: skipped
+
+// Modes of operation.
+const (
+	ModeA = iota
+	ModeB
+)
+
+type many struct{}
+
+var (
+	// Limit bounds things.
+	Limit = 10
+	quiet = true
+)
+`
+	if got := check(t, src); len(got) != 0 {
+		t.Fatalf("unexpected problems: %v", got)
+	}
+}
+
+func TestCheckDirSkipsTests(t *testing.T) {
+	// This package's own main.go is documented; _test.go files are skipped,
+	// so doccheck run on itself must be clean.
+	got, err := checkDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("doccheck is not self-clean: %v", got)
+	}
+}

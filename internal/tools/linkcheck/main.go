@@ -1,0 +1,109 @@
+// Command linkcheck is an offline markdown link checker for CI: it scans
+// the files named on the command line for [text](target) links and exits
+// non-zero if a relative target does not exist on disk or a same-file
+// #fragment does not match any heading's GitHub-style anchor.
+//
+// Usage:
+//
+//	go run ./internal/tools/linkcheck README.md DESIGN.md EXPERIMENTS.md
+//
+// External links (http://, https://, mailto:) are not fetched — CI stays
+// hermetic — so only repository-relative references are validated.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var (
+	linkRE    = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+	headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+)$`)
+	// slugDropRE removes everything GitHub's anchor algorithm drops:
+	// anything that is not a letter, digit, underscore, space, or hyphen.
+	slugDropRE = regexp.MustCompile(`[^\p{L}\p{N}_ -]`)
+	fenceRE    = regexp.MustCompile("(?ms)^```.*?^```[ \t]*$")
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: linkcheck <file.md> [file.md...]")
+		os.Exit(2)
+	}
+	broken := 0
+	for _, path := range flag.Args() {
+		problems, err := checkMarkdown(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "linkcheck:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fmt.Fprintf(os.Stderr, "linkcheck: %d broken link(s)\n", broken)
+		os.Exit(1)
+	}
+}
+
+// checkMarkdown validates every link in one markdown file and returns a
+// "file: target: reason" line per broken link.
+func checkMarkdown(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Fenced code blocks routinely contain bracketed text that is not a
+	// link (array literals, shell output); strip them before scanning.
+	text := fenceRE.ReplaceAllString(string(raw), "")
+	anchors := headingAnchors(string(raw))
+
+	var problems []string
+	for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+		target := m[1]
+		switch {
+		case strings.HasPrefix(target, "http://"),
+			strings.HasPrefix(target, "https://"),
+			strings.HasPrefix(target, "mailto:"):
+			continue
+		case strings.HasPrefix(target, "#"):
+			if !anchors[strings.TrimPrefix(target, "#")] {
+				problems = append(problems, fmt.Sprintf("%s: %s: no such heading", path, target))
+			}
+		default:
+			file, _, _ := strings.Cut(target, "#")
+			rel := filepath.Join(filepath.Dir(path), file)
+			if _, err := os.Stat(rel); err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %s: no such file", path, target))
+			}
+		}
+	}
+	return problems, nil
+}
+
+// headingAnchors returns the set of GitHub-style anchor slugs for every
+// heading in the document: lowercase, punctuation dropped, spaces
+// hyphenated.
+func headingAnchors(text string) map[string]bool {
+	anchors := make(map[string]bool)
+	for _, m := range headingRE.FindAllStringSubmatch(text, -1) {
+		anchors[slug(m[1])] = true
+	}
+	return anchors
+}
+
+func slug(heading string) string {
+	s := strings.ToLower(strings.TrimSpace(heading))
+	// Inline code and emphasis markers vanish in GitHub slugs.
+	s = strings.NewReplacer("`", "", "*", "").Replace(s)
+	s = slugDropRE.ReplaceAllString(s, "")
+	s = strings.ReplaceAll(s, " ", "-")
+	return s
+}

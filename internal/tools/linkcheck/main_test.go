@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGoodLinksPass(t *testing.T) {
+	dir := t.TempDir()
+	write(t, dir, "OTHER.md", "# Other\n")
+	doc := write(t, dir, "DOC.md", `# My Doc
+
+## Deep Section: with punctuation!
+
+See [other](OTHER.md), [a section](#deep-section-with-punctuation),
+[an anchor elsewhere](OTHER.md#other), and [the web](https://example.com).
+
+`+"```go\nnot := a[link](x)\n```\n")
+	problems, err := checkMarkdown(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("unexpected problems: %v", problems)
+	}
+}
+
+func TestBrokenLinksFlagged(t *testing.T) {
+	dir := t.TempDir()
+	doc := write(t, dir, "DOC.md", `# Title
+
+[missing file](NOPE.md) and [missing heading](#no-such-section).
+`)
+	problems, err := checkMarkdown(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 2 {
+		t.Fatalf("got %d problems %v, want 2", len(problems), problems)
+	}
+	if !strings.Contains(problems[0], "NOPE.md") || !strings.Contains(problems[1], "#no-such-section") {
+		t.Fatalf("wrong problems: %v", problems)
+	}
+}
+
+func TestSlug(t *testing.T) {
+	cases := map[string]string{
+		"Simple":                      "simple",
+		"Two Words":                   "two-words",
+		"Punct, (removed)!":           "punct-removed",
+		"`code` and *stars*":          "code-and-stars",
+		"Checkpointing long sweeps":   "checkpointing-long-sweeps",
+		"snake_case stays":            "snake_case-stays",
+		"  trimmed  ":                 "trimmed",
+		"Mixed: CASE-and-hyphens":     "mixed-case-and-hyphens",
+		"8. Known baseline deviation": "8-known-baseline-deviation",
+	}
+	for in, want := range cases {
+		if got := slug(in); got != want {
+			t.Errorf("slug(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

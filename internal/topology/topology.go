@@ -41,6 +41,7 @@ func (c Coord) Equal(o Coord) bool {
 	return true
 }
 
+// String renders the coordinate as "(x,y,...)".
 func (c Coord) String() string {
 	parts := make([]string, len(c))
 	for i, v := range c {
