@@ -390,15 +390,17 @@ func BenchmarkAblationFaultTolerance(b *testing.B) {
 	}
 }
 
-// stepBench measures steady-state Step cost on a loaded torus with the given
-// kernel shard count (0 = serial kernel). b.ReportAllocs surfaces the
-// zero-allocation steady-state property alongside ns/cycle.
-func stepBench(b *testing.B, radix, shards int) {
+// stepBenchAt measures steady-state Step cost on a torus at the given
+// offered load, kernel shard count (0 = serial kernel) and active-set
+// setting. b.ReportAllocs surfaces the zero-allocation steady-state
+// property alongside ns/cycle.
+func stepBenchAt(b *testing.B, radix, shards int, load float64, activeSet bool) {
 	b.Helper()
 	topo := disha.Torus(radix, radix)
 	sim, err := disha.NewSimulator(disha.SimConfig{
 		Topo: topo, Algorithm: disha.DishaRouting(0), Pattern: disha.Uniform(topo),
-		LoadRate: 0.5, MsgLen: 32, Timeout: 8, Seed: 1, Shards: shards,
+		LoadRate: load, MsgLen: 32, Timeout: 8, Seed: 1, Shards: shards,
+		DisableActiveSet: !activeSet,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -413,12 +415,21 @@ func stepBench(b *testing.B, radix, shards int) {
 	b.ReportMetric(float64(topo.Nodes()), "routers/step")
 }
 
-// BenchmarkStepSerial is the serial-kernel baseline for the phased parallel
-// kernel comparison (compare against BenchmarkStepSharded with benchstat;
-// CI fails the kernel job if sharded regresses below serial at 16x16).
+// stepBench is the full-scan variant at the historical 0.5 load: every
+// router visited every cycle, so torus8/torus16 numbers stay comparable
+// with the bench trajectory recorded before the active-set scheduler.
+func stepBench(b *testing.B, radix, shards int) { stepBenchAt(b, radix, shards, 0.5, false) }
+
+// BenchmarkStepSerial is the serial full-scan baseline for the kernel
+// comparisons (benchstat against BenchmarkStepSharded and
+// BenchmarkStepActiveSet; CI fails the kernel job if sharded regresses
+// below serial at 16x16, or if the active set stops clearing 1.5x over the
+// full scan at 0.1 load). load0.1 is the idle-heavy baseline the active-set
+// speedup is measured against on the same 16x16 torus.
 func BenchmarkStepSerial(b *testing.B) {
 	b.Run("torus8", func(b *testing.B) { stepBench(b, 8, 0) })
 	b.Run("torus16", func(b *testing.B) { stepBench(b, 16, 0) })
+	b.Run("load0.1", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.1, false) })
 }
 
 // BenchmarkStepSharded runs the identical simulations under the sharded
@@ -427,6 +438,18 @@ func BenchmarkStepSerial(b *testing.B) {
 func BenchmarkStepSharded(b *testing.B) {
 	b.Run("torus8", func(b *testing.B) { stepBench(b, 8, 4) })
 	b.Run("torus16", func(b *testing.B) { stepBench(b, 16, 4) })
+}
+
+// BenchmarkStepActiveSet runs the serial kernel with the active-set
+// scheduler (the default in production) on the 16x16 torus across the load
+// range: at 0.1 load most routers sleep most cycles and the scheduler should
+// clear >= 1.5x the full scan's cycles/sec; by 0.9 load nearly every router
+// is busy and the two converge. Results are byte-identical to the full scan
+// at every load; only the wall time differs.
+func BenchmarkStepActiveSet(b *testing.B) {
+	b.Run("load0.1", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.1, true) })
+	b.Run("load0.5", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.5, true) })
+	b.Run("load0.9", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.9, true) })
 }
 
 // BenchmarkAblationAdaptiveTimeout compares fixed vs self-tuning T_out at

@@ -57,7 +57,16 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// No WriteTimeout: ?watch=1 streams NDJSON for the lifetime of a job.
+	// The read-side timeouts bound how long a client can hold a connection
+	// open without sending a complete request (slowloris).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -76,6 +85,8 @@ func main() {
 		// (clients resubmit — submissions are deterministic).
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
-		httpSrv.Shutdown(ctx)
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "disha-serve: shutdown:", err)
+		}
 	}
 }

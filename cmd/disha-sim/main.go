@@ -50,6 +50,7 @@ func main() {
 		drain     = flag.Int("drain", 0, "extra cycles to drain after stopping injection (0 = no drain)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		shards    = flag.Int("shards", 0, "kernel worker shards per cycle (0/1 = serial; any value gives identical results)")
+		activeSet = flag.Bool("active-set", true, "skip fully drained routers in the step kernel (identical results; disable only to benchmark the full-scan baseline)")
 		wfg       = flag.Bool("wfg", false, "run the wait-for-graph analyzer at the end")
 
 		ckptPath    = flag.String("checkpoint", "disha-sim.ckpt", "checkpoint file path (used by -checkpoint-every and -restore)")
@@ -116,7 +117,7 @@ func main() {
 	case "transpose":
 		pattern, err = disha.Transpose(topo)
 	case "hotspot":
-		pattern = disha.HotSpot(disha.Uniform(topo), disha.Node(topo.Nodes()/3), *hotFrac)
+		pattern, err = disha.NewHotSpot(disha.Uniform(topo), disha.Node(topo.Nodes()/3), *hotFrac)
 	case "complement":
 		pattern = disha.Complement(topo)
 	case "tornado":
@@ -142,6 +143,7 @@ func main() {
 		InjectionThrottle: *throttle,
 		Seed:              *seed,
 		Shards:            *shards,
+		DisableActiveSet:  !*activeSet,
 	})
 	fail(err)
 	defer sim.Close()

@@ -40,23 +40,24 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "4", "figure to reproduce: 3a, 3b, 4, 5, 6, 7, or all")
-		scale    = flag.String("scale", "paper", "scale: paper (16x16, 32 flits) or small (8x8, 16 flits)")
-		csvDir   = flag.String("csv", "", "directory to write CSV results into (optional)")
-		warmup   = flag.Int("warmup", 0, "override warm-up cycles")
-		measure  = flag.Int("measure", 0, "override measurement cycles")
-		seed     = flag.Uint64("seed", 0, "override seed")
-		quiet    = flag.Bool("quiet", false, "suppress per-point progress")
-		charts   = flag.Bool("plot", true, "render ASCII charts of each figure")
-		parallel = flag.Int("parallel", 0, "engine workers (0 = all cores, 1 = serial; results are identical either way)")
-		shards   = flag.Int("shards", 0, "kernel worker shards inside each simulation (0/1 = serial; results are identical; keep parallel*shards within the core count)")
-		replicas = flag.Int("replicas", 1, "independent runs per point, aggregated into mean ± 95% CI")
-		retries  = flag.Int("retries", 1, "extra attempts for a failing point")
-		journal  = flag.String("journal", "", "JSONL checkpoint file for completed points (optional)")
-		resume   = flag.Bool("resume", false, "resume from -journal instead of starting fresh")
-		ckptDir  = flag.String("checkpoint-dir", "", "directory for mid-point checkpoints; killed points resume mid-flight with byte-identical results (requires -checkpoint-every)")
-		ckptN    = flag.Int("checkpoint-every", 0, "cycles between mid-point checkpoints (0 = off; requires -checkpoint-dir)")
-		metrics  = flag.String("metrics-addr", "", "serve engine progress on this address at /metrics (optional, e.g. :9090)")
+		fig       = flag.String("fig", "4", "figure to reproduce: 3a, 3b, 4, 5, 6, 7, or all")
+		scale     = flag.String("scale", "paper", "scale: paper (16x16, 32 flits) or small (8x8, 16 flits)")
+		csvDir    = flag.String("csv", "", "directory to write CSV results into (optional)")
+		warmup    = flag.Int("warmup", 0, "override warm-up cycles")
+		measure   = flag.Int("measure", 0, "override measurement cycles")
+		seed      = flag.Uint64("seed", 0, "override seed")
+		quiet     = flag.Bool("quiet", false, "suppress per-point progress")
+		charts    = flag.Bool("plot", true, "render ASCII charts of each figure")
+		parallel  = flag.Int("parallel", 0, "engine workers (0 = all cores, 1 = serial; results are identical either way)")
+		shards    = flag.Int("shards", 0, "kernel worker shards inside each simulation (0/1 = serial; results are identical; keep parallel*shards within the core count)")
+		activeSet = flag.Bool("active-set", true, "skip fully drained routers in each simulation's step kernel (identical results; disable only for full-scan baselines)")
+		replicas  = flag.Int("replicas", 1, "independent runs per point, aggregated into mean ± 95% CI")
+		retries   = flag.Int("retries", 1, "extra attempts for a failing point")
+		journal   = flag.String("journal", "", "JSONL checkpoint file for completed points (optional)")
+		resume    = flag.Bool("resume", false, "resume from -journal instead of starting fresh")
+		ckptDir   = flag.String("checkpoint-dir", "", "directory for mid-point checkpoints; killed points resume mid-flight with byte-identical results (requires -checkpoint-every)")
+		ckptN     = flag.Int("checkpoint-every", 0, "cycles between mid-point checkpoints (0 = off; requires -checkpoint-dir)")
+		metrics   = flag.String("metrics-addr", "", "serve engine progress on this address at /metrics (optional, e.g. :9090)")
 	)
 	flag.Parse()
 
@@ -116,6 +117,7 @@ func main() {
 			spec.Measure = *measure
 		}
 		spec.Shards = *shards
+		spec.DisableActiveSet = !*activeSet
 		fmt.Printf("== figure %s: %s ==\n", name, spec.Name)
 		progress := func(s string) { fmt.Println("  " + s) }
 		if *quiet {

@@ -126,8 +126,13 @@ func MinCongestionSelection() Selection { return routing.MinCongestion() }
 // Pattern maps a source node to a destination node.
 type Pattern = traffic.Pattern
 
-// Uniform sends each packet to a uniformly random other node.
+// Uniform sends each packet to a uniformly random other node; it panics on
+// a topology with fewer than two nodes (use NewUniform to get an error).
 func Uniform(topo Topology) Pattern { return traffic.Uniform(topo) }
+
+// NewUniform is Uniform with an error instead of a panic on a topology with
+// fewer than two nodes.
+func NewUniform(topo Topology) (Pattern, error) { return traffic.NewUniform(topo) }
 
 // BitReversal sends node a_{b-1}..a_0 to node a_0..a_{b-1}; the node count
 // must be a power of two.
@@ -136,9 +141,17 @@ func BitReversal(topo Topology) (Pattern, error) { return traffic.BitReversal(to
 // Transpose sends (x, y) to (y, x) on a square 2D network.
 func Transpose(topo Topology) (Pattern, error) { return traffic.Transpose(topo) }
 
-// HotSpot directs fraction of all traffic at the spot node on top of base.
+// HotSpot directs fraction of all traffic at the spot node on top of base;
+// it panics when base is nil or fraction lies outside [0, 1] (use
+// NewHotSpot to get an error).
 func HotSpot(base Pattern, spot Node, fraction float64) Pattern {
 	return traffic.HotSpot(base, spot, fraction)
+}
+
+// NewHotSpot is HotSpot with an error instead of a panic on a nil base or a
+// fraction outside [0, 1].
+func NewHotSpot(base Pattern, spot Node, fraction float64) (Pattern, error) {
+	return traffic.NewHotSpot(base, spot, fraction)
 }
 
 // Complement sends every node to its coordinate-wise complement.
@@ -228,6 +241,12 @@ type SimConfig struct {
 	// value; 0 or 1 keeps the serial kernel. Call Close when done to stop
 	// the worker pool.
 	Shards int
+	// DisableActiveSet makes the kernel visit every router every cycle
+	// instead of only routers that can do work (see README, "Kernel
+	// parallelism"). The active-set scheduler is byte-identical to the full
+	// scan; disabling it only costs throughput at low load. Exists for
+	// benchmarking the full-scan baseline.
+	DisableActiveSet bool
 }
 
 // BurstConfig shapes bursty injection (mean burst and idle lengths, cycles).
@@ -274,7 +293,7 @@ func NewSimulator(cfg SimConfig) (*Simulator, error) {
 		TokenHopsPerCycle: cfg.TokenHopsPerCycle,
 		InjectionThrottle: cfg.InjectionThrottle,
 		Burst:             cfg.Burst,
-		Kernel:            network.KernelConfig{Shards: cfg.Shards},
+		Kernel:            network.KernelConfig{Shards: cfg.Shards, DisableActiveSet: cfg.DisableActiveSet},
 	})
 	if err != nil {
 		return nil, err
@@ -333,8 +352,9 @@ func (s *Simulator) Snapshot(w io.Writer) error { return s.net.Snapshot(w) }
 
 // Restore loads a Snapshot stream into this simulator. The simulator must
 // be freshly built with the identical SimConfig and never stepped; Shards
-// alone may differ, since the sharded kernel is byte-identical to serial.
-// On error the simulator is unusable and must be discarded.
+// and DisableActiveSet alone may differ, since the sharded and active-set
+// kernels are byte-identical to the serial full scan. On error the
+// simulator is unusable and must be discarded.
 func (s *Simulator) Restore(r io.Reader) error { return s.net.Restore(r) }
 
 // SaveCheckpoint atomically writes the simulation state to a file: the

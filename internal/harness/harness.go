@@ -83,6 +83,10 @@ type Spec struct {
 	// engine's across-point parallelism, so keep Shards*Parallelism within
 	// the host's core count.
 	Shards int
+	// DisableActiveSet forces every run's kernel to visit all routers every
+	// cycle instead of only the active set. Byte-identical either way; the
+	// full scan is only useful as a benchmarking baseline.
+	DisableActiveSet bool
 }
 
 // PointResult is the measurement of one (algorithm, load) pair. With
@@ -413,7 +417,7 @@ func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64, ck *checkpointer
 		MsgLen:            s.MsgLen,
 		Seed:              seed,
 		TokenHopsPerCycle: s.TokenHops,
-		Kernel:            network.KernelConfig{Shards: s.Shards},
+		Kernel:            network.KernelConfig{Shards: s.Shards, DisableActiveSet: s.DisableActiveSet},
 	})
 	if err != nil {
 		return PointResult{}, err

@@ -23,7 +23,9 @@ package jobserver
 import (
 	"crypto/sha256"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -322,12 +324,29 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// maxSubmitBytes bounds the POST /jobs body. A sweep spec is a few hundred
+// bytes of JSON; 1 MiB leaves generous headroom while keeping a hostile
+// client from streaming an unbounded body into the decoder.
+const maxSubmitBytes = 1 << 20
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
-	dec := json.NewDecoder(r.Body)
+	body := http.MaxBytesReader(w, r.Body, maxSubmitBytes)
+	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Reject trailing garbage after the JSON object: a concatenated second
+	// document would otherwise be silently ignored.
+	if _, err := dec.Token(); err != io.EOF {
+		httpError(w, http.StatusBadRequest, "unexpected data after JSON body")
 		return
 	}
 	spec, err := req.spec()

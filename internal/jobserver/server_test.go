@@ -221,6 +221,8 @@ func TestBadRequests(t *testing.T) {
 		{"bad load", `{"figure":"4","loads":[1.5]}`},
 		{"unknown field", `{"figure":"4","bogus":1}`},
 		{"not json", `nope`},
+		{"trailing garbage", `{"figure":"4"} trailing`},
+		{"concatenated objects", `{"figure":"4"}{"figure":"4"}`},
 	}
 	for _, tc := range cases {
 		resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(tc.body))
@@ -238,6 +240,36 @@ func TestBadRequests(t *testing.T) {
 	}
 	if code := getJSON(t, ts.URL+"/jobs/job-9999/result.csv", nil); code != http.StatusNotFound {
 		t.Fatalf("missing job result code = %d", code)
+	}
+}
+
+// TestSubmitBodyTooLarge proves POST /jobs rejects oversized bodies with 413
+// and a JSON error instead of streaming them into the decoder.
+func TestSubmitBodyTooLarge(t *testing.T) {
+	_, ts := startServer(t)
+	// A syntactically valid JSON object just past the 1 MiB cap: the limit
+	// must trigger on size alone, not on a parse error.
+	huge := `{"figure":"4","loads":[` + strings.TrimSuffix(strings.Repeat("0.1,", maxSubmitBytes/4), ",") + `]}`
+	if len(huge) <= maxSubmitBytes {
+		t.Fatalf("test body too small: %d bytes", len(huge))
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || body.Error == "" {
+		t.Fatalf("413 body not a JSON error: %v (%+v)", err, body)
+	}
+	// The server must still be healthy for well-formed requests.
+	if st := submit(t, ts, tinyReq()); st.ID == "" {
+		t.Fatal("server unhealthy after oversized request")
 	}
 }
 

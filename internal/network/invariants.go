@@ -25,6 +25,9 @@ type flitKey struct {
 //     in-network flits + delivered flits == flits injected so far;
 //   - credit consistency: on every link and VC, sender-side credits plus
 //     downstream buffer occupancy equal the configured buffer depth;
+//   - counter and activity soundness: every router's maintained O(1) flit
+//     counter equals a full buffer walk, and any router holding flits or
+//     crossbar connection state is in the active set;
 //   - token exclusivity (sequential recovery): at most one packet is
 //     recovering on the Token (OnDB, seized, header not yet arrived), and
 //     the Token's held/holder state agrees with it; an occupied Deadlock
@@ -53,9 +56,11 @@ func (n *Network) CheckInvariants() error {
 
 	for _, r := range n.routers {
 		node := r.NodeID()
+		routerFlits := 0
 		for p := 0; p < r.InputPorts(); p++ {
 			for v := 0; v < r.InputVCCount(p); v++ {
 				occ := r.InputOccupancy(p, v)
+				routerFlits += occ
 				owner := r.InputOwner(p, v)
 				if occ > 0 && owner == nil {
 					return fmt.Errorf("network invariant: node %d input (%d,%d) holds %d flits with no owner",
@@ -81,6 +86,7 @@ func (n *Network) CheckInvariants() error {
 		}
 		for lane := 0; lane < r.DBLanes(); lane++ {
 			ln := r.DBLaneLen(lane)
+			routerFlits += ln
 			owner := r.DBLaneOwner(lane)
 			if ln > 0 && owner == nil {
 				return fmt.Errorf("network invariant: node %d DB lane %d holds %d flits with no owner", node, lane, ln)
@@ -99,6 +105,16 @@ func (n *Network) CheckInvariants() error {
 					return err
 				}
 			}
+		}
+		if got := r.FlitCount(); got != routerFlits {
+			return fmt.Errorf("network invariant: node %d maintained flit count %d, buffers hold %d", node, got, routerFlits)
+		}
+		// Active-set soundness: any router that can do work — buffered flits
+		// or crossbar connection state — must be awake. (The converse is not
+		// an invariant: a drained router stays awake until the end-of-cycle
+		// sweep runs.)
+		if (routerFlits > 0 || !r.CrossbarIdle()) && !n.activeOn(int(node)) {
+			return fmt.Errorf("network invariant: node %d holds work but is inactive", node)
 		}
 		for q := 0; q < deg; q++ {
 			nb := r.Neighbor(q)

@@ -21,6 +21,13 @@ type KernelConfig struct {
 	// (no pool). Values above the node count are clamped. Negative values
 	// are a configuration error.
 	Shards int
+	// DisableActiveSet makes the stage and timer phases visit every router
+	// every cycle instead of only the active set (see activeset.go). The
+	// active-set scheduler is digest-invariant — it changes which routers
+	// are visited, never what any visit computes — so this knob exists only
+	// to benchmark the full-scan baseline and as an escape hatch; like
+	// Shards, it may differ freely between a snapshot and its restore.
+	DisableActiveSet bool
 }
 
 func (k *KernelConfig) normalize(nodes int) error {
@@ -141,7 +148,9 @@ func (k *kernel) close() {
 }
 
 // stageShard runs the fused route-compute + switch-allocation phase for the
-// routers in [lo, hi), staging transfers into the shard's reusable buffer.
+// active routers in [lo, hi), staging transfers into the shard's reusable
+// buffer (the activity bitmap is only written in serial phases, so sharded
+// reads are race-free).
 // Both stages mutate only the owning router's state and read neighbor
 // Deadlock Buffer state that is start-of-cycle stable, so disjoint shards
 // run concurrently without synchronization; Deadlock-Buffer admissions are
@@ -149,17 +158,19 @@ func (k *kernel) close() {
 // shard (== router) order.
 func (n *Network) stageShard(lo, hi, shard int) {
 	buf := n.stageBufs[shard][:0]
-	for _, r := range n.routers[lo:hi] {
+	for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
+		r := n.routers[i]
 		r.StageRouting()
 		buf = r.StageSwitch(buf)
 	}
 	n.stageBufs[shard] = buf
 }
 
-// timerShard runs the deadlock-timer phase for the routers in [lo, hi).
-// Timeout observers are buffered per router and flushed serially afterwards.
+// timerShard runs the deadlock-timer phase for the active routers in
+// [lo, hi). Timeout observers are buffered per router and flushed serially
+// afterwards.
 func (n *Network) timerShard(lo, hi int) {
-	for _, r := range n.routers[lo:hi] {
-		r.TickTimers()
+	for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
+		n.routers[i].TickTimers()
 	}
 }

@@ -28,6 +28,7 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 	ivc.outVC = 0
 	ivc.buf.Push(a.Flit(2))
 	ivc.buf.Push(a.Flit(3))
+	r.flitCount += 2
 	r.outputs[q][0].owner = a
 
 	step := func() []Transfer {
@@ -57,6 +58,7 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 	r.dbs[0].pkt = p
 	r.dbs[0].route = q
 	r.dbs[0].buf.Push(p.Flit(0))
+	r.flitCount++
 
 	// Cycle 2: preemption — the DB connects, the edge connection is saved.
 	step()
@@ -112,6 +114,7 @@ func TestPBPLendsStalledConnection(t *testing.T) {
 	ivcA.route = q
 	ivcA.outVC = 0
 	ivcA.buf.Push(a.Flit(2))
+	r.flitCount++
 	r.outputs[q][0].owner = a
 	r.outputs[q][0].credits = 0
 
@@ -123,6 +126,7 @@ func TestPBPLendsStalledConnection(t *testing.T) {
 	ivcB.outVC = 1
 	ivcB.buf.Push(bb.Flit(2))
 	ivcB.buf.Push(bb.Flit(3))
+	r.flitCount += 2
 	r.outputs[q][1].owner = bb
 
 	// First stage: A establishes the connection (or B does — either way a

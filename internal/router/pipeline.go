@@ -371,6 +371,7 @@ func Commit(t Transfer, sink Sink) {
 		to := t.To
 		db := &to.dbs[t.ToDBLane]
 		db.buf.Push(fl)
+		to.flitCount++
 		if fl.IsHeader() {
 			db.pkt = fl.Pkt
 			db.route = to.dbLaneRoute(t.ToDBLane, fl.Pkt.Dst)
@@ -382,6 +383,7 @@ func Commit(t Transfer, sink Sink) {
 		inPort := topology.ReversePort(t.OutPort)
 		tivc := &to.inputs[inPort][t.ToVC]
 		tivc.buf.Push(fl)
+		to.flitCount++
 		if fl.IsHeader() {
 			tivc.pkt = fl.Pkt
 		}
@@ -404,6 +406,7 @@ func (t Transfer) popSource() packet.Flit {
 	if t.FromDB {
 		db := &r.dbs[t.FromDBLane]
 		fl := db.buf.Pop()
+		r.flitCount--
 		r.stats.DBFlitsCarried++
 		if fl.IsTail() {
 			db.pkt = nil
@@ -413,6 +416,7 @@ func (t Transfer) popSource() packet.Flit {
 	}
 	ivc := &r.inputs[t.FromPort][t.FromVC]
 	fl := ivc.buf.Pop()
+	r.flitCount--
 	if t.FromPort < r.topo.Degree() && r.neighbors[t.FromPort] != nil {
 		up := r.neighbors[t.FromPort]
 		up.outputs[topology.ReversePort(t.FromPort)][t.FromVC].credits++
@@ -720,6 +724,7 @@ func (r *Router) PurgePacket(p *packet.Packet) int {
 			for i := 0; i < n; i++ {
 				ivc.buf.Pop()
 			}
+			r.flitCount -= n
 			purged += n
 			if n > 0 && port < deg && r.neighbors[port] != nil {
 				up := r.neighbors[port]

@@ -94,6 +94,7 @@ func TestRecoverPresumedAndHamDelivery(t *testing.T) {
 	ivc.pkt = p
 	ivc.buf.Push(p.Flit(0))
 	ivc.buf.Push(p.Flit(1))
+	r.flitCount += 2
 	for i := 0; i < int(cfg.Timeout)+2; i++ {
 		b.step()
 	}
@@ -135,6 +136,7 @@ func TestPurgePacket(t *testing.T) {
 	ivc0.outVC = 0
 	ivc0.buf.Push(p.Flit(1))
 	ivc0.buf.Push(p.Flit(2))
+	r0.flitCount += 2
 	r0.outputs[q][0].owner = p
 	r0.outputs[q][0].credits = 0 // both slots of r1's buffer hold p's flits... one here:
 	rev := topology.ReversePort(q)
@@ -142,6 +144,7 @@ func TestPurgePacket(t *testing.T) {
 	ivc1.pkt = p
 	ivc1.route = PortUnrouted
 	ivc1.buf.Push(p.Flit(0))
+	r1.flitCount++
 	r0.outputs[q][0].credits = cfg.BufferDepth - 1
 
 	purged := r0.PurgePacket(p) + r1.PurgePacket(p)

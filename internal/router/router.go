@@ -146,6 +146,12 @@ type Router struct {
 	candBuf []routing.Candidate
 	stats   Stats
 
+	// flitCount mirrors the total number of flits buffered in input VCs and
+	// Deadlock Buffer lanes, maintained at every push/pop so Quiescent and
+	// the network's active-set drain check are O(1). Not part of the digest
+	// (it is derivable); CheckInvariants cross-checks it against a full walk.
+	flitCount int
+
 	// Telemetry instrumentation, maintained by TickTimers (which already
 	// visits every input VC each cycle, so this costs almost nothing):
 	// cumulative blocked cycles keyed by VC index, and the most recent
@@ -332,6 +338,7 @@ func (r *Router) InjectFlit(fl packet.Flit, now sim.Cycle) bool {
 			if ivc.pkt == nil && ivc.buf.Empty() {
 				ivc.pkt = fl.Pkt
 				ivc.buf.Push(fl)
+				r.flitCount++
 				fl.Pkt.InjectedAt = now
 				return true
 			}
@@ -342,6 +349,7 @@ func (r *Router) InjectFlit(fl packet.Flit, now sim.Cycle) bool {
 		ivc := &r.inputs[port][v]
 		if ivc.pkt == fl.Pkt && !ivc.buf.Full() {
 			ivc.buf.Push(fl)
+			r.flitCount++
 			return true
 		}
 	}
@@ -409,22 +417,9 @@ func (r *Router) InputPorts() int { return len(r.inputs) }
 // InputVCCount returns the number of VCs on the given input port.
 func (r *Router) InputVCCount(port int) int { return len(r.inputs[port]) }
 
-// Quiescent reports whether the router holds no flits at all.
-func (r *Router) Quiescent() bool {
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			if !r.inputs[p][v].buf.Empty() {
-				return false
-			}
-		}
-	}
-	for i := range r.dbs {
-		if !r.dbs[i].buf.Empty() {
-			return false
-		}
-	}
-	return true
-}
+// Quiescent reports whether the router holds no flits at all. O(1): backed
+// by the maintained flit counter rather than a buffer walk.
+func (r *Router) Quiescent() bool { return r.flitCount == 0 }
 
 // String identifies the router by coordinate and algorithm for logs.
 func (r *Router) String() string {

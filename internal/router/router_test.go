@@ -322,6 +322,7 @@ func TestReservations(t *testing.T) {
 	res.Reset()
 	// Full DB refuses even the owner.
 	target.dbs[0].buf.Push(p1.Flit(0))
+	target.flitCount++
 	if res.ReserveDB(target, 0, p1) {
 		t.Fatal("full DB accepted a flit")
 	}

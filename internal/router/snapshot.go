@@ -231,5 +231,16 @@ func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet
 	}
 	r.rng.SetState(st)
 	r.pendingTimeouts = r.pendingTimeouts[:0]
+	// Rebuild the derived flit counter from the restored buffers; it is not
+	// serialized (the snapshot format predates it, and it is derivable).
+	r.flitCount = 0
+	for p := range r.inputs {
+		for v := range r.inputs[p] {
+			r.flitCount += r.inputs[p][v].buf.Len()
+		}
+	}
+	for i := range r.dbs {
+		r.flitCount += r.dbs[i].buf.Len()
+	}
 	return nil
 }

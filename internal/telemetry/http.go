@@ -4,6 +4,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Handler returns an http.Handler exposing the registry's last published
@@ -39,7 +40,16 @@ func Serve(addr string, reg *Registry) (string, func() error, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
+	// No WriteTimeout: /debug/pprof/profile and /debug/pprof/trace stream
+	// for their requested duration. The read-side timeouts bound how long a
+	// client can hold a connection open without sending a complete request
+	// (slowloris).
+	srv := &http.Server{
+		Handler:           Handler(reg),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	go srv.Serve(ln)
 	return ln.Addr().String(), func() error { return srv.Close() }, nil
 }

@@ -1,19 +1,25 @@
 // Command benchgate is a dependency-free benchstat-style gate for CI: it
-// parses `go test -bench` output, summarizes two benchmarks as medians of
-// their ns/op samples, and exits non-zero when the candidate's median
-// exceeds the baseline's by more than the allowed ratio.
+// parses `go test -bench` output, summarizes benchmarks as medians of their
+// ns/op samples, and exits non-zero when any candidate's median exceeds its
+// baseline's by more than the allowed ratio.
 //
-// Usage:
+// Gates are given with the repeatable -gate flag as
+// "candidate:baseline:max-ratio" triples:
 //
-//	go test -bench 'BenchmarkStep(Serial|Sharded)/torus16' -count 5 . | tee bench.txt
+//	go test -bench 'BenchmarkStep' -count 5 . | tee bench.txt
 //	go run ./internal/tools/benchgate \
-//	    -serial BenchmarkStepSerial/torus16 \
-//	    -sharded BenchmarkStepSharded/torus16 \
-//	    -max-ratio 1.0 bench.txt
+//	    -gate 'BenchmarkStepSharded/torus16:BenchmarkStepSerial/torus16:1.0' \
+//	    -gate 'BenchmarkStepActiveSet/load0.1:BenchmarkStepSerial/load0.1:0.667' \
+//	    bench.txt
 //
-// With -max-ratio 1.0 the sharded kernel must be at least as fast as serial
-// (median over the -count repetitions, which absorbs scheduler noise the way
-// benchstat's summary statistics do).
+// The first gate above requires the sharded kernel to be at least as fast as
+// serial; the second requires the active-set scheduler to run the idle-heavy
+// 0.1-load simulation in at most 2/3 of the full scan's time (>= 1.5x
+// cycles/sec). Medians over the -count repetitions absorb scheduler noise
+// the way benchstat's summary statistics do.
+//
+// The legacy single-comparison flags -serial/-sharded/-max-ratio are still
+// honored when no -gate is given.
 package main
 
 import (
@@ -26,17 +32,68 @@ import (
 	"strings"
 )
 
+// gate is one candidate-vs-baseline comparison: fail when the candidate's
+// median ns/op exceeds baseline median * maxRatio.
+type gate struct {
+	candidate string
+	baseline  string
+	maxRatio  float64
+}
+
+// gateList collects repeated -gate flags.
+type gateList []gate
+
+func (g *gateList) String() string {
+	parts := make([]string, len(*g))
+	for i, gt := range *g {
+		parts[i] = fmt.Sprintf("%s:%s:%g", gt.candidate, gt.baseline, gt.maxRatio)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (g *gateList) Set(s string) error {
+	gt, err := parseGate(s)
+	if err != nil {
+		return err
+	}
+	*g = append(*g, gt)
+	return nil
+}
+
+// parseGate splits a "candidate:baseline:max-ratio" triple. Benchmark names
+// never contain ':', so a plain 3-way split is unambiguous.
+func parseGate(s string) (gate, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return gate{}, fmt.Errorf("gate %q: want candidate:baseline:max-ratio", s)
+	}
+	ratio, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil || ratio <= 0 {
+		return gate{}, fmt.Errorf("gate %q: bad max-ratio %q", s, parts[2])
+	}
+	if parts[0] == "" || parts[1] == "" {
+		return gate{}, fmt.Errorf("gate %q: empty benchmark name", s)
+	}
+	return gate{candidate: parts[0], baseline: parts[1], maxRatio: ratio}, nil
+}
+
 func main() {
+	var gates gateList
 	var (
-		serial   = flag.String("serial", "BenchmarkStepSerial/torus16", "baseline benchmark name (sub-benchmark path, GOMAXPROCS suffix ignored)")
-		sharded  = flag.String("sharded", "BenchmarkStepSharded/torus16", "candidate benchmark name")
-		maxRatio = flag.Float64("max-ratio", 1.0, "fail when candidate median ns/op > baseline median * ratio")
+		serial   = flag.String("serial", "BenchmarkStepSerial/torus16", "legacy: baseline benchmark name (ignored when -gate is used)")
+		sharded  = flag.String("sharded", "BenchmarkStepSharded/torus16", "legacy: candidate benchmark name (ignored when -gate is used)")
+		maxRatio = flag.Float64("max-ratio", 1.0, "legacy: fail when candidate median ns/op > baseline median * ratio (ignored when -gate is used)")
 	)
+	flag.Var(&gates, "gate", "repeatable candidate:baseline:max-ratio comparison (e.g. BenchmarkStepSharded/torus16:BenchmarkStepSerial/torus16:1.0)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchgate [flags] bench-output.txt")
 		os.Exit(2)
 	}
+	if len(gates) == 0 {
+		gates = gateList{{candidate: *sharded, baseline: *serial, maxRatio: *maxRatio}}
+	}
+
 	f, err := os.Open(flag.Arg(0))
 	if err != nil {
 		fail(err.Error())
@@ -55,21 +112,41 @@ func main() {
 		fail(err.Error())
 	}
 
-	base := median(samples[*serial])
-	cand := median(samples[*sharded])
+	failed := false
+	for _, gt := range gates {
+		msg, ok := checkGate(gt, samples)
+		fmt.Print(msg)
+		if !ok {
+			failed = true
+		}
+	}
+	if failed {
+		fail("one or more gates failed")
+	}
+}
+
+// checkGate evaluates one gate against the parsed samples and returns a
+// human-readable report plus whether the gate passed. A missing benchmark is
+// a failure: a renamed benchmark must not silently disarm its gate.
+func checkGate(gt gate, samples map[string][]float64) (string, bool) {
+	base := median(samples[gt.baseline])
+	cand := median(samples[gt.candidate])
 	if base == 0 {
-		fail(fmt.Sprintf("no samples for baseline %q", *serial))
+		return fmt.Sprintf("benchgate: no samples for baseline %q\n", gt.baseline), false
 	}
 	if cand == 0 {
-		fail(fmt.Sprintf("no samples for candidate %q", *sharded))
+		return fmt.Sprintf("benchgate: no samples for candidate %q\n", gt.candidate), false
 	}
 	ratio := cand / base
-	fmt.Printf("benchgate: %s median %.0f ns/op (%d samples)\n", *serial, base, len(samples[*serial]))
-	fmt.Printf("benchgate: %s median %.0f ns/op (%d samples)\n", *sharded, cand, len(samples[*sharded]))
-	fmt.Printf("benchgate: ratio %.3f (limit %.3f)\n", ratio, *maxRatio)
-	if ratio > *maxRatio {
-		fail(fmt.Sprintf("candidate regressed: %.3f > %.3f", ratio, *maxRatio))
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchgate: %s median %.0f ns/op (%d samples)\n", gt.baseline, base, len(samples[gt.baseline]))
+	fmt.Fprintf(&b, "benchgate: %s median %.0f ns/op (%d samples)\n", gt.candidate, cand, len(samples[gt.candidate]))
+	fmt.Fprintf(&b, "benchgate: ratio %.3f (limit %.3f)\n", ratio, gt.maxRatio)
+	if ratio > gt.maxRatio {
+		fmt.Fprintf(&b, "benchgate: FAIL: candidate regressed: %.3f > %.3f\n", ratio, gt.maxRatio)
+		return b.String(), false
 	}
+	return b.String(), true
 }
 
 // parseBenchLine extracts the benchmark name (GOMAXPROCS suffix stripped)

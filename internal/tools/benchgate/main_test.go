@@ -20,6 +20,71 @@ func TestParseBenchLine(t *testing.T) {
 	}
 }
 
+func TestParseGate(t *testing.T) {
+	gt, err := parseGate("BenchmarkStepActiveSet/load0.1:BenchmarkStepSerial/load0.1:0.667")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.candidate != "BenchmarkStepActiveSet/load0.1" ||
+		gt.baseline != "BenchmarkStepSerial/load0.1" || gt.maxRatio != 0.667 {
+		t.Fatalf("parsed %+v", gt)
+	}
+	for _, bad := range []string{
+		"",
+		"a:b",
+		"a:b:c:d",
+		"a:b:zero",
+		"a:b:-1",
+		"a:b:0",
+		":b:1.0",
+		"a::1.0",
+	} {
+		if _, err := parseGate(bad); err == nil {
+			t.Fatalf("gate %q unexpectedly parsed", bad)
+		}
+	}
+}
+
+func TestCheckGate(t *testing.T) {
+	samples := map[string][]float64{
+		"Base": {100, 110, 90, 105, 95}, // median 100
+		"Fast": {40, 50, 45},            // median 45
+		"Slow": {200, 210, 190},         // median 200
+	}
+	if msg, ok := checkGate(gate{candidate: "Fast", baseline: "Base", maxRatio: 0.667}, samples); !ok {
+		t.Fatalf("fast candidate failed gate:\n%s", msg)
+	}
+	if msg, ok := checkGate(gate{candidate: "Slow", baseline: "Base", maxRatio: 1.0}, samples); ok {
+		t.Fatalf("slow candidate passed gate:\n%s", msg)
+	}
+	// Missing benchmarks must fail rather than silently disarm the gate.
+	if _, ok := checkGate(gate{candidate: "Gone", baseline: "Base", maxRatio: 1.0}, samples); ok {
+		t.Fatal("missing candidate passed gate")
+	}
+	if _, ok := checkGate(gate{candidate: "Fast", baseline: "Gone", maxRatio: 1.0}, samples); ok {
+		t.Fatal("missing baseline passed gate")
+	}
+}
+
+func TestGateListSet(t *testing.T) {
+	var gl gateList
+	if err := gl.Set("A:B:1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := gl.Set("C:D:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	if len(gl) != 2 || gl[1].candidate != "C" || gl[1].maxRatio != 0.5 {
+		t.Fatalf("gate list %+v", gl)
+	}
+	if gl.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if err := gl.Set("nope"); err == nil {
+		t.Fatal("bad gate accepted")
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if m := median([]float64{3, 1, 2}); m != 2 {
 		t.Fatalf("odd median = %v", m)

@@ -31,9 +31,26 @@ type uniform struct {
 	topo topology.Topology
 }
 
-// Uniform sends each packet to a destination chosen uniformly among all
-// other nodes.
-func Uniform(topo topology.Topology) Pattern { return uniform{topo} }
+// NewUniform returns a pattern that sends each packet to a destination
+// chosen uniformly among all other nodes. It errors on a topology with
+// fewer than two nodes, where no such destination exists (Dest would
+// otherwise panic in Intn(0)).
+func NewUniform(topo topology.Topology) (Pattern, error) {
+	if topo.Nodes() < 2 {
+		return nil, fmt.Errorf("traffic: uniform needs at least 2 nodes, have %d", topo.Nodes())
+	}
+	return uniform{topo}, nil
+}
+
+// Uniform is NewUniform for topologies known to have at least two nodes; it
+// panics otherwise.
+func Uniform(topo topology.Topology) Pattern {
+	p, err := NewUniform(topo)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 func (uniform) Name() string { return "uniform" }
 
@@ -106,16 +123,35 @@ type hotSpot struct {
 	name     string
 }
 
-// HotSpot directs fraction of all traffic (e.g. 0.05 for the paper's 5%) to
-// a single fixed hot node; the remainder follows base. The paper selects the
-// hot node at random; pass any node here and let the harness randomize.
-func HotSpot(base Pattern, spot topology.Node, fraction float64) Pattern {
+// NewHotSpot returns a pattern directing fraction of all traffic (e.g. 0.05
+// for the paper's 5%) to a single fixed hot node; the remainder follows
+// base. The paper selects the hot node at random; pass any node here and
+// let the harness randomize. It errors when base is nil or fraction lies
+// outside [0, 1] (Bernoulli would silently clamp, misreporting the offered
+// hot-spot load).
+func NewHotSpot(base Pattern, spot topology.Node, fraction float64) (Pattern, error) {
+	if base == nil {
+		return nil, fmt.Errorf("traffic: hot-spot needs a base pattern")
+	}
+	if fraction < 0 || fraction > 1 || fraction != fraction {
+		return nil, fmt.Errorf("traffic: hot-spot fraction %g outside [0, 1]", fraction)
+	}
 	return hotSpot{
 		base:     base,
 		spot:     spot,
 		fraction: fraction,
 		name:     fmt.Sprintf("hotspot-%g%%-%s", fraction*100, base.Name()),
+	}, nil
+}
+
+// HotSpot is NewHotSpot for arguments known to be valid; it panics
+// otherwise.
+func HotSpot(base Pattern, spot topology.Node, fraction float64) Pattern {
+	p, err := NewHotSpot(base, spot, fraction)
+	if err != nil {
+		panic(err)
 	}
+	return p
 }
 
 func (p hotSpot) Name() string { return p.name }

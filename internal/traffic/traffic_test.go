@@ -417,3 +417,81 @@ func TestBurstySourceIsActuallyBursty(t *testing.T) {
 		t.Fatal("invalid burst config accepted")
 	}
 }
+
+// TestBurstySourceClampsExtremeConfigs documents the SetBursty clamp: when
+// prob/DutyCycle exceeds 1 the in-burst probability saturates at 1, so the
+// long-run offered load drops to the duty cycle instead of matching the
+// Bernoulli baseline. Callers wanting load-preserving bursts must keep
+// prob <= DutyCycle.
+func TestBurstySourceClampsExtremeConfigs(t *testing.T) {
+	topo := topo16()
+	const prob = 0.3
+	cfg := BurstConfig{MeanBurst: 10, MeanIdle: 90} // duty cycle 0.1 < prob
+	src := NewSource(3, Uniform(topo), sim.NewRNG(11), prob, 8)
+	if err := src.SetBursty(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if src.burstProb != 1 {
+		t.Fatalf("in-burst probability %v, want clamp at 1", src.burstProb)
+	}
+	var id packet.ID
+	nextID := func() packet.ID { id++; return id }
+	const cycles = 200000
+	made := 0
+	for c := 0; c < cycles; c++ {
+		if src.Generate(sim.Cycle(c), nextID) != nil {
+			made++
+		}
+	}
+	rate := float64(made) / cycles
+	// Injecting with probability 1 while bursting delivers exactly the duty
+	// cycle (minus the ~0.4% uniform self-address discard), not prob.
+	if math.Abs(rate-cfg.DutyCycle()) > 0.01 {
+		t.Fatalf("clamped long-run rate %v, want ~duty cycle %v", rate, cfg.DutyCycle())
+	}
+	if rate >= prob/2 {
+		t.Fatalf("clamped rate %v suspiciously close to the unclamped target %v", rate, prob)
+	}
+}
+
+// oneNodeTopo wraps a real topology but reports a single node — the
+// degenerate case NewUniform must reject (Dest would panic in Intn(0)).
+type oneNodeTopo struct{ topology.Topology }
+
+func (oneNodeTopo) Nodes() int { return 1 }
+
+func TestNewUniformRejectsSingleNode(t *testing.T) {
+	if _, err := NewUniform(oneNodeTopo{topo16()}); err == nil {
+		t.Fatal("NewUniform accepted a 1-node topology")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform did not panic on a 1-node topology")
+		}
+	}()
+	Uniform(oneNodeTopo{topo16()})
+}
+
+func TestNewHotSpotValidatesFraction(t *testing.T) {
+	topo := topo16()
+	base := Uniform(topo)
+	for _, frac := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, err := NewHotSpot(base, 0, frac); err == nil {
+			t.Fatalf("NewHotSpot accepted fraction %v", frac)
+		}
+	}
+	if _, err := NewHotSpot(nil, 0, 0.05); err == nil {
+		t.Fatal("NewHotSpot accepted a nil base")
+	}
+	for _, frac := range []float64{0, 0.05, 1} {
+		if _, err := NewHotSpot(base, 0, frac); err != nil {
+			t.Fatalf("NewHotSpot rejected valid fraction %v: %v", frac, err)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HotSpot did not panic on an out-of-range fraction")
+		}
+	}()
+	HotSpot(base, 0, 2)
+}
