@@ -415,6 +415,33 @@ func stepBenchAt(b *testing.B, radix, shards int, load float64, activeSet bool) 
 	b.ReportMetric(float64(topo.Nodes()), "routers/step")
 }
 
+// stepBenchProfiled is stepBenchAt with the telemetry stack (hub, episode
+// tracker, flight recorder) attached and the kernel phase profiler sampling
+// every profileEvery cycles (0 = profiler off). The on/off twins isolate
+// the profiler's own Step overhead from the base telemetry cost; CI gates
+// their ratio.
+func stepBenchProfiled(b *testing.B, radix, shards int, load float64, activeSet bool, profileEvery int) {
+	b.Helper()
+	topo := disha.Torus(radix, radix)
+	sim, err := disha.NewSimulator(disha.SimConfig{
+		Topo: topo, Algorithm: disha.DishaRouting(0), Pattern: disha.Uniform(topo),
+		LoadRate: load, MsgLen: 32, Timeout: 8, Seed: 1, Shards: shards,
+		DisableActiveSet: !activeSet,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sim.Close)
+	sim.EnableTelemetry(disha.TelemetryOptions{ProfileEvery: profileEvery})
+	sim.Run(2000) // steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+	b.ReportMetric(float64(topo.Nodes()), "routers/step")
+}
+
 // stepBench is the full-scan variant at the historical 0.5 load: every
 // router visited every cycle, so torus8/torus16 numbers stay comparable
 // with the bench trajectory recorded before the active-set scheduler.
@@ -450,6 +477,18 @@ func BenchmarkStepActiveSet(b *testing.B) {
 	b.Run("load0.1", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.1, true) })
 	b.Run("load0.5", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.5, true) })
 	b.Run("load0.9", func(b *testing.B) { stepBenchAt(b, 16, 0, 0.9, true) })
+}
+
+// BenchmarkStepProfiled measures the kernel phase profiler's overhead at
+// the BenchmarkStepActiveSet/load0.5 operating point, with the telemetry
+// stack attached in both runs so the comparison isolates the profiler:
+// "off" has ProfileEvery=0, "on" samples every 32nd cycle (the disha-sim
+// default is 64, so this is conservative). CI's benchgate requires on to
+// stay within 11% of off — i.e. profiler-on Step throughput must remain
+// >= 0.9x profiler-off.
+func BenchmarkStepProfiled(b *testing.B) {
+	b.Run("off", func(b *testing.B) { stepBenchProfiled(b, 16, 0, 0.5, true, 0) })
+	b.Run("on", func(b *testing.B) { stepBenchProfiled(b, 16, 0, 0.5, true, 32) })
 }
 
 // BenchmarkAblationAdaptiveTimeout compares fixed vs self-tuning T_out at

@@ -17,6 +17,10 @@
 //	# engine progress + server totals (Prometheus text format)
 //	curl -s localhost:8080/metrics
 //
+//	# liveness probe and build metadata
+//	curl -s localhost:8080/healthz
+//	curl -s localhost:8080/buildz
+//
 // With -data-dir the server persists sweep journals and mid-point
 // checkpoints, so a killed server resumes a resubmitted identical request
 // from where it died instead of recomputing:
@@ -70,7 +74,7 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "disha-serve: listening on %s (POST /jobs, GET /jobs/{id}, GET /metrics)\n", *addr)
+	fmt.Fprintf(os.Stderr, "disha-serve: listening on %s (POST /jobs, GET /jobs/{id}, GET /metrics, GET /healthz, GET /buildz)\n", *addr)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

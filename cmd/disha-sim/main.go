@@ -58,10 +58,11 @@ func main() {
 		restore     = flag.Bool("restore", false, "restore the -checkpoint file before running; -cycles then counts total simulated cycles including the restored progress")
 		fingerprint = flag.Bool("fingerprint", false, "print the final full-state SHA-256 fingerprint (restored runs match uninterrupted ones)")
 
-		metricsAddr = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090)")
-		traceOut    = flag.String("trace-out", "", "write telemetry samples, trace events, flight-recorder snapshots and final counters as JSON Lines to this file")
-		sampleEvery = flag.Int("sample-every", 100, "telemetry sampling period in cycles (negative disables sampling)")
-		hold        = flag.Duration("hold", 0, "keep the -metrics-addr endpoint up this long after the run (for scraping/pprof)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve Prometheus /metrics, /healthz, /buildz and /debug/pprof on this address (e.g. :9090)")
+		traceOut     = flag.String("trace-out", "", "write telemetry samples, trace events, recovery-episode spans, flight-recorder snapshots and final counters as JSON Lines to this file")
+		sampleEvery  = flag.Int("sample-every", 100, "telemetry sampling period in cycles (negative disables sampling)")
+		profileEvery = flag.Int("profile-every", 64, "kernel phase-profiler sampling period in cycles (0 disables phase timing)")
+		hold         = flag.Duration("hold", 0, "keep the -metrics-addr endpoint up this long after the run (for scraping/pprof)")
 	)
 	flag.Parse()
 
@@ -162,7 +163,7 @@ func main() {
 		traceFile *os.File
 	)
 	if *metricsAddr != "" || *traceOut != "" {
-		opts := disha.TelemetryOptions{SampleEvery: *sampleEvery}
+		opts := disha.TelemetryOptions{SampleEvery: *sampleEvery, ProfileEvery: *profileEvery}
 		if *traceOut != "" {
 			traceFile, err = os.Create(*traceOut)
 			fail(err)
@@ -223,6 +224,9 @@ func main() {
 		tel.Registry.Publish() // final state for late scrapes
 	}
 	if tw != nil {
+		// Episodes still unresolved at end of run are flushed as "open"
+		// spans so disha-trace sees every presumption.
+		tel.Episodes.FlushOpen(int64(sim.Now()))
 		tw.WriteCounters(int64(sim.Now()), sim.CountersMap())
 		fail(tw.Flush())
 		fail(traceFile.Close())

@@ -10,6 +10,8 @@
 //	disha-trace run.jsonl             # full post-mortem
 //	disha-trace -pkt 1234 run.jsonl   # one packet's event history
 //	disha-trace -episodes 20 run.jsonl
+//	disha-trace episodes run.jsonl    # span-based episode timelines +
+//	                                  # misprediction-rate summary
 package main
 
 import (
@@ -20,9 +22,14 @@ import (
 	"strings"
 
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "episodes" {
+		runEpisodes(os.Args[2:])
+		return
+	}
 	var (
 		pkt      = flag.Int64("pkt", -1, "print the event history of one packet and exit")
 		episodes = flag.Int("episodes", 10, "max recovery episodes to print")
@@ -62,6 +69,7 @@ type dump struct {
 	events    []telemetry.Line
 	samples   []telemetry.Line
 	snapshots []*telemetry.Snapshot
+	spans     []*telemetry.EpisodeSpan
 	counters  map[string]int64
 	lastCycle int64
 }
@@ -83,11 +91,150 @@ func split(lines []telemetry.Line) *dump {
 			if l.Snapshot != nil {
 				d.snapshots = append(d.snapshots, l.Snapshot)
 			}
+		case "span":
+			if l.Span != nil {
+				d.spans = append(d.spans, l.Span)
+			}
 		case "counters":
 			d.counters = l.Counters
 		}
 	}
 	return d
+}
+
+// runEpisodes is the `episodes` subcommand: it renders the structured
+// recovery-episode spans the tracker emitted — one timeline per episode,
+// labeled true-cycle vs false-presumption — plus a misprediction-rate
+// summary and a cross-check of the labels against the flight recorder's
+// TrueDeadlock verdicts.
+func runEpisodes(args []string) {
+	fs := flag.NewFlagSet("episodes", flag.ExitOnError)
+	limit := fs.Int("limit", 20, "max episode timelines to print")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: disha-trace episodes [-limit N] <trace.jsonl>")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	f, err := os.Open(fs.Arg(0))
+	fail(err)
+	lines, err := telemetry.ReadJSONL(f)
+	f.Close()
+	fail(err)
+	d := split(lines)
+
+	fmt.Printf("recovery-episode spans (%d)\n", len(d.spans))
+	if len(d.spans) == 0 {
+		fmt.Println("  (none — run disha-sim with -trace-out and a deadlock-prone config)")
+		return
+	}
+	spans := append([]*telemetry.EpisodeSpan(nil), d.spans...)
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Seq < spans[j].Seq })
+
+	trueN, memberN := 0, 0
+	outcomes := map[string]int{}
+	var resolveSum, resolveN, dbSum, dbN int64
+	for _, s := range spans {
+		if s.TrueCycle {
+			trueN++
+		}
+		if s.Member {
+			memberN++
+		}
+		outcomes[s.Outcome]++
+		if s.Outcome != "open" {
+			resolveSum += s.End - s.Start
+			resolveN++
+		}
+		if s.Recover >= 0 && s.Outcome == "delivered" {
+			dbSum += s.End - s.Recover
+			dbN++
+		}
+	}
+	falseN := len(spans) - trueN
+	fmt.Printf("  verdicts: %d true-cycle, %d false-presumption (misprediction rate %.1f%%); %d presumed packets in a deadlocked set\n",
+		trueN, falseN, 100*float64(falseN)/float64(len(spans)), memberN)
+	fmt.Printf("  outcomes: %d delivered, %d killed, %d open at end of run\n",
+		outcomes["delivered"], outcomes["killed"], outcomes["open"])
+	if resolveN > 0 {
+		fmt.Printf("  mean time-to-resolve %d cycles", resolveSum/resolveN)
+		if dbN > 0 {
+			fmt.Printf("; mean time-in-DB %d cycles over %d recovered deliveries", dbSum/dbN, dbN)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\ntimelines")
+	for i, s := range spans {
+		if i >= *limit {
+			fmt.Printf("  ... %d more (raise -limit)\n", len(spans)-*limit)
+			break
+		}
+		fmt.Println("  " + spanTimeline(s))
+	}
+
+	printAgreement(d, spans)
+}
+
+// spanTimeline renders one span as a single arrow-chain line.
+func spanTimeline(s *telemetry.EpisodeSpan) string {
+	verdict := "false-presumption"
+	if s.TrueCycle {
+		verdict = "true-cycle"
+		if s.Member {
+			verdict += "/member"
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "#%-4d pkt %-6d %-18s presumed@%d node=%d", s.Seq, s.Pkt, verdict, s.Start, s.Node)
+	if s.Capture >= 0 {
+		fmt.Fprintf(&sb, " -> token@%d", s.Capture)
+	}
+	if s.Recover >= 0 {
+		fmt.Fprintf(&sb, " -> db-lane@%d", s.Recover)
+	}
+	if s.Release >= 0 {
+		fmt.Fprintf(&sb, " -> release@%d", s.Release)
+	}
+	switch s.Outcome {
+	case "delivered":
+		fmt.Fprintf(&sb, " -> delivered@%d (+%d cycles)", s.End, s.End-s.Start)
+	case "killed":
+		fmt.Fprintf(&sb, " -> killed@%d (+%d cycles)", s.End, s.End-s.Start)
+	default:
+		fmt.Fprintf(&sb, " -> open at end of run (@%d)", s.End)
+	}
+	return sb.String()
+}
+
+// printAgreement cross-checks the spans' true-cycle labels against the
+// flight recorder: a snapshot's trigger packet opened its episode the same
+// cycle, and both verdicts come from the same wait-for-graph analysis, so
+// they must agree. Disagreement means the span labels can't be trusted.
+func printAgreement(d *dump, spans []*telemetry.EpisodeSpan) {
+	if len(d.snapshots) == 0 {
+		return
+	}
+	bySeq := map[[2]int64]*telemetry.EpisodeSpan{}
+	for _, s := range spans {
+		bySeq[[2]int64{s.Start, s.Pkt}] = s
+	}
+	matched, agreed := 0, 0
+	for _, snap := range d.snapshots {
+		s, ok := bySeq[[2]int64{snap.Cycle, snap.TriggerPkt}]
+		if !ok {
+			continue
+		}
+		matched++
+		if s.TrueCycle == snap.TrueDeadlock {
+			agreed++
+		}
+	}
+	fmt.Printf("\nflight-recorder agreement: %d/%d trigger spans match the snapshot TrueDeadlock verdict\n",
+		agreed, matched)
+	if agreed != matched {
+		fmt.Println("  WARNING: span labels disagree with flight-recorder verdicts")
+	}
 }
 
 func printMeta(d *dump) {
@@ -116,8 +263,8 @@ func printEventTotals(d *dump) {
 	for _, e := range d.events {
 		counts[e.Kind]++
 	}
-	// Stable, meaningful order: lifecycle first, then recovery machinery.
-	order := []string{"inject", "deliver", "timeout", "recover", "token-capture", "token-release", "kill"}
+	// Canonical kind order (lifecycle first, then recovery machinery).
+	order := trace.KindStrings()
 	seen := map[string]bool{}
 	for _, k := range order {
 		if counts[k] > 0 {

@@ -395,6 +395,7 @@ const (
 	TraceRecover      = trace.Recover
 	TraceTokenCapture = trace.TokenCapture
 	TraceTokenRelease = trace.TokenRelease
+	TraceKill         = trace.Kill
 )
 
 // EnableTrace attaches a ring buffer recording the most recent capacity
@@ -412,11 +413,20 @@ func (s *Simulator) EnableTrace(capacity int) *trace.Buffer {
 // flight-recorder depth, JSONL output).
 type TelemetryOptions = telemetry.Options
 
-// Telemetry bundles a simulation's registry, sampler and flight recorder.
+// Telemetry bundles a simulation's registry, sampler, flight recorder and
+// recovery-episode tracker.
 type Telemetry = telemetry.Hub
 
 // TelemetryWriter streams telemetry records as JSON Lines.
 type TelemetryWriter = telemetry.JSONLWriter
+
+// EpisodeSpan is one recovery episode rendered as a structured span:
+// presumption, Token capture, Deadlock-Buffer routing and final delivery
+// or abort, labeled true-cycle vs false-presumption by the WFG analyzer.
+type EpisodeSpan = telemetry.EpisodeSpan
+
+// Histogram is the registry's fixed-bucket distribution metric.
+type Histogram = telemetry.Histogram
 
 // NewTelemetryWriter wraps w in a buffered JSONL telemetry encoder.
 func NewTelemetryWriter(w io.Writer) *TelemetryWriter { return telemetry.NewJSONLWriter(w) }

@@ -34,6 +34,20 @@ type WFGResult struct {
 // configuration.
 func (w WFGResult) TrueDeadlock() bool { return len(w.Deadlocked) > 0 }
 
+// DeadlockedIDs returns the deadlocked packets' IDs as a lookup set (nil
+// when there is no deadlock — safe to index). Consumers label recovery
+// episodes and snapshot WFG nodes with it.
+func (w WFGResult) DeadlockedIDs() map[int64]bool {
+	if len(w.Deadlocked) == 0 {
+		return nil
+	}
+	ids := make(map[int64]bool, len(w.Deadlocked))
+	for _, bh := range w.Deadlocked {
+		ids[int64(bh.Pkt.ID)] = true
+	}
+	return ids
+}
+
 // AnalyzeWFG inspects the routers' current state and classifies blocked
 // headers. A header can eventually advance if any candidate output VC is
 // free or draining, or is held by a packet that can itself advance (its

@@ -17,6 +17,8 @@
 //	GET  /jobs/{id}/result.json finished curves as JSON
 //	GET  /jobs/{id}/result.csv  finished curves as CSV
 //	GET  /metrics              telemetry registry (engine progress + server totals)
+//	GET  /healthz              liveness probe
+//	GET  /buildz               build metadata (debug.ReadBuildInfo)
 //	GET  /debug/pprof/         standard profiles
 package jobserver
 
@@ -106,6 +108,29 @@ type Progress struct {
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 }
 
+// EpisodeCounts aggregates a finished sweep's recovery-episode totals
+// across every measured point: how often deadlock was presumed, how often
+// the recovery Token was seized, and how many WFG samples found a true
+// deadlocked configuration.
+type EpisodeCounts struct {
+	Presumptions  int64 `json:"presumptions"`
+	TokenSeizures int64 `json:"token_seizures"`
+	TrueDeadlocks int64 `json:"true_deadlocks"`
+}
+
+// episodeCounts sums the per-point recovery counters over all curves.
+func episodeCounts(res *harness.Result) *EpisodeCounts {
+	ec := &EpisodeCounts{}
+	for _, pts := range res.Points {
+		for _, p := range pts {
+			ec.Presumptions += p.TimeoutEvents
+			ec.TokenSeizures += p.TokenSeizures
+			ec.TrueDeadlocks += p.TrueDeadlocks
+		}
+	}
+	return ec
+}
+
 // JobStatus is the JSON rendering of one job.
 type JobStatus struct {
 	ID       string       `json:"id"`
@@ -118,6 +143,9 @@ type JobStatus struct {
 	Error    string       `json:"error,omitempty"`
 	// Report is the engine's batch summary, present once the job settled.
 	Report *engine.Report `json:"report,omitempty"`
+	// Episodes totals the sweep's recovery-episode counters, present once
+	// the job settled with results.
+	Episodes *EpisodeCounts `json:"episodes,omitempty"`
 }
 
 func (s JobStatus) terminal() bool { return s.State == "done" || s.State == "failed" }
@@ -295,6 +323,9 @@ func (s *Server) runJob(id string) {
 	j.status.Finished = &end
 	j.status.Report = report
 	j.result = res
+	if res != nil {
+		j.status.Episodes = episodeCounts(res)
+	}
 	if err != nil {
 		j.status.State = "failed"
 		j.status.Error = err.Error()
@@ -317,9 +348,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result.json", s.handleResultJSON)
 	mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleResultCSV)
-	// Reuse the telemetry exposition handler (it also serves pprof).
+	// Reuse the telemetry exposition handler (it also serves pprof, the
+	// liveness probe and build metadata).
 	th := telemetry.Handler(s.reg)
 	mux.Handle("GET /metrics", th)
+	mux.Handle("GET /healthz", th)
+	mux.Handle("GET /buildz", th)
 	mux.Handle("/debug/pprof/", th)
 	return mux
 }

@@ -2,6 +2,7 @@ package network
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/router"
 )
@@ -158,6 +159,26 @@ func (k *kernel) close() {
 // shard (== router) order.
 func (n *Network) stageShard(lo, hi, shard int) {
 	buf := n.stageBufs[shard][:0]
+	// On profiled cycles each router's two stages are timed separately into
+	// the shard's private accumulator slots; the kernel barrier's channel
+	// handoff orders those writes before the stepping goroutine's
+	// flushStage read, so no synchronization is needed. The wall-clock
+	// reads never touch simulation state (digest-invariant).
+	if p := n.prof; p != nil && p.active {
+		var routeNS, switchNS int64
+		for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
+			r := n.routers[i]
+			s0 := time.Now()
+			r.StageRouting()
+			s1 := time.Now()
+			buf = r.StageSwitch(buf)
+			routeNS += s1.Sub(s0).Nanoseconds()
+			switchNS += time.Since(s1).Nanoseconds()
+		}
+		p.shardRoute[shard], p.shardSwitch[shard] = routeNS, switchNS
+		n.stageBufs[shard] = buf
+		return
+	}
 	for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
 		r := n.routers[i]
 		r.StageRouting()

@@ -627,19 +627,19 @@ func (r *Router) Recover(port, vc int, now sim.Cycle) *packet.Packet {
 
 // RecoverPresumed (concurrent recovery) switches every presumed-deadlocked
 // packet at this router onto its Deadlock Buffer lane — no Token, no mutual
-// exclusion. It returns the number of packets recovered.
-func (r *Router) RecoverPresumed(now sim.Cycle) int {
-	n := 0
+// exclusion. Each recovered packet is appended to out (pass a reused
+// scratch slice to keep the call allocation-free); the extended slice is
+// returned so callers can trace and track per-packet recoveries.
+func (r *Router) RecoverPresumed(now sim.Cycle, out []*packet.Packet) []*packet.Packet {
 	deg := r.topo.Degree()
 	for p := 0; p < deg; p++ {
 		for v := range r.inputs[p] {
 			if r.inputs[p][v].presumed {
-				r.Recover(p, v, now)
-				n++
+				out = append(out, r.Recover(p, v, now))
 			}
 		}
 	}
-	return n
+	return out
 }
 
 // recoveryLane picks the Deadlock Buffer lane for a recovery starting here:

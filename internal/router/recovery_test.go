@@ -98,8 +98,8 @@ func TestRecoverPresumedAndHamDelivery(t *testing.T) {
 	for i := 0; i < int(cfg.Timeout)+2; i++ {
 		b.step()
 	}
-	if got := r.RecoverPresumed(b.now); got != 1 {
-		t.Fatalf("RecoverPresumed = %d, want 1", got)
+	if got := r.RecoverPresumed(b.now, nil); len(got) != 1 {
+		t.Fatalf("RecoverPresumed = %d packets, want 1", len(got))
 	}
 	if !p.OnDB || p.SeizedToken {
 		t.Fatalf("concurrent recovery state wrong: onDB=%v seized=%v", p.OnDB, p.SeizedToken)

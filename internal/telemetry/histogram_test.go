@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+
+	// A value equal to a bound lands in that bound's bucket (`le` is
+	// inclusive), values below the first bound land in the first bucket, and
+	// values above the last bound land in the implicit +Inf bucket.
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{-3, 0},
+		{0, 0},
+		{1, 0},
+		{1.0000001, 1},
+		{2, 1},
+		{3.999, 2},
+		{4, 2},
+		{4.0001, 3},
+		{math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		before := append([]uint64(nil), h.BucketCounts()...)
+		h.Observe(c.v)
+		after := h.BucketCounts()
+		for i := range after {
+			want := before[i]
+			if i == c.bucket {
+				want++
+			}
+			if after[i] != want {
+				t.Errorf("Observe(%g): bucket %d count = %d, want %d", c.v, i, after[i], want)
+			}
+		}
+	}
+	if got := h.Count(); got != uint64(len(cases)) {
+		t.Errorf("Count() = %d, want %d", got, len(cases))
+	}
+}
+
+func TestHistogramGoldenRender(t *testing.T) {
+	r := NewRegistry()
+	lat := r.Histogram("disha_test_latency_seconds", "Test latency.",
+		Labels{{Key: "stage", Value: "route"}}, []float64{0.5, 1, 2})
+	for _, v := range []float64{0.25, 0.5, 0.75, 3} {
+		lat.Observe(v)
+	}
+	plain := r.Histogram("disha_plain_seconds", "Plain.", nil, []float64{1, 2})
+	plain.Observe(1.5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	golden := filepath.Join("testdata", "histogram_golden.txt")
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden fixture: %v", err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Errorf("exposition mismatch with %s\n got:\n%s\nwant:\n%s", golden, got, want)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 2})
+	b := NewHistogram([]float64{1, 2})
+	a.Observe(0.5)
+	b.Observe(1.5)
+	b.Observe(10)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge(same bounds) = %v", err)
+	}
+	if got, want := a.Count(), uint64(3); got != want {
+		t.Errorf("merged Count() = %d, want %d", got, want)
+	}
+	if got, want := a.Sum(), 12.0; got != want {
+		t.Errorf("merged Sum() = %g, want %g", got, want)
+	}
+	wantBuckets := []uint64{1, 1, 1}
+	for i, c := range a.BucketCounts() {
+		if c != wantBuckets[i] {
+			t.Errorf("merged bucket %d = %d, want %d", i, c, wantBuckets[i])
+		}
+	}
+
+	// Mismatched bounds: error, receiver unchanged.
+	c := NewHistogram([]float64{1, 3})
+	c.Observe(2)
+	if err := a.Merge(c); err == nil {
+		t.Error("Merge(different bounds) = nil error, want error")
+	}
+	d := NewHistogram([]float64{1, 2, 4})
+	d.Observe(2)
+	if err := a.Merge(d); err == nil {
+		t.Error("Merge(different bucket count) = nil error, want error")
+	}
+	if got, want := a.Count(), uint64(3); got != want {
+		t.Errorf("Count() after failed merges = %d, want %d (unchanged)", got, want)
+	}
+
+	// Merging a nil or empty source is a no-op, not an error.
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("Merge(nil) = %v, want nil", err)
+	}
+	if err := a.Merge(NewHistogram([]float64{99})); err != nil {
+		t.Errorf("Merge(empty, different bounds) = %v, want nil (empty is a no-op)", err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Errorf("after Reset: Count=%d Sum=%g, want zeros", h.Count(), h.Sum())
+	}
+	for i, c := range h.BucketCounts() {
+		if c != 0 {
+			t.Errorf("after Reset: bucket %d = %d, want 0", i, c)
+		}
+	}
+	h.Observe(0.5)
+	if h.Count() != 1 {
+		t.Errorf("Observe after Reset: Count=%d, want 1", h.Count())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 40})
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(15) // second bucket
+	}
+	// Median rank 10 sits exactly at the first/second bucket boundary: the
+	// interpolated estimate is the first bound.
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("Quantile(0.5) = %g, want 10", got)
+	}
+	// 0.75 → rank 15, midway through the second bucket: 10 + 10*(5/10) = 15.
+	if got := h.Quantile(0.75); got != 15 {
+		t.Errorf("Quantile(0.75) = %g, want 15", got)
+	}
+	// +Inf bucket clamps to the largest finite bound.
+	h2 := NewHistogram([]float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Errorf("Quantile in +Inf bucket = %g, want clamp to 2", got)
+	}
+	// Out-of-range q is clamped, empty histogram returns 0.
+	if got := h.Quantile(-1); got != h.Quantile(0) {
+		t.Errorf("Quantile(-1) = %g, want Quantile(0) = %g", got, h.Quantile(0))
+	}
+	if got := NewHistogram([]float64{1}).Quantile(0.5); got != 0 {
+		t.Errorf("Quantile on empty histogram = %g, want 0", got)
+	}
+}
+
+func TestHistogramBucketHelpers(t *testing.T) {
+	wantExp := []float64{1, 2, 4, 8}
+	for i, b := range ExponentialBuckets(1, 2, 4) {
+		if b != wantExp[i] {
+			t.Errorf("ExponentialBuckets[%d] = %g, want %g", i, b, wantExp[i])
+		}
+	}
+	wantLin := []float64{5, 7.5, 10}
+	for i, b := range LinearBuckets(5, 2.5, 3) {
+		if b != wantLin[i] {
+			t.Errorf("LinearBuckets[%d] = %g, want %g", i, b, wantLin[i])
+		}
+	}
+
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("NewHistogram(empty)", func() { NewHistogram(nil) })
+	mustPanic("NewHistogram(descending)", func() { NewHistogram([]float64{2, 1}) })
+	mustPanic("NewHistogram(duplicate)", func() { NewHistogram([]float64{1, 1}) })
+	mustPanic("ExponentialBuckets(start=0)", func() { ExponentialBuckets(0, 2, 3) })
+	mustPanic("ExponentialBuckets(factor=1)", func() { ExponentialBuckets(1, 1, 3) })
+	mustPanic("LinearBuckets(width=0)", func() { LinearBuckets(1, 0, 3) })
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.Reset()
+	if err := h.Merge(NewHistogram([]float64{1})); err != nil {
+		t.Errorf("nil.Merge = %v, want nil", err)
+	}
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram reads should be zero")
+	}
+	if h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Error("nil histogram slices should be nil")
+	}
+}
+
+func TestHistogramGatherSamples(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("disha_hist_gather", "Gather test.", nil, []float64{1})
+	h.Observe(0.5)
+	h.Observe(2.5)
+
+	got := map[string]float64{}
+	for _, s := range r.Gather() {
+		got[s.Name] = s.Value
+	}
+	if v, ok := got["disha_hist_gather_count"]; !ok || v != 2 {
+		t.Errorf("Gather disha_hist_gather_count = %g (present=%v), want 2", v, ok)
+	}
+	if v, ok := got["disha_hist_gather_sum"]; !ok || v != 3 {
+		t.Errorf("Gather disha_hist_gather_sum = %g (present=%v), want 3", v, ok)
+	}
+}

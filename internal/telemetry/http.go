@@ -1,17 +1,20 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime/debug"
 	"time"
 )
 
 // Handler returns an http.Handler exposing the registry's last published
-// snapshot at /metrics and the standard pprof profiles under /debug/pprof/.
-// The handler itself never touches live simulation state, so it is safe to
-// serve from any goroutine while the simulation runs — the simulation
-// thread refreshes the snapshot via Registry.Publish.
+// snapshot at /metrics, a liveness probe at /healthz, build metadata at
+// /buildz (from debug.ReadBuildInfo) and the standard pprof profiles under
+// /debug/pprof/. The handler itself never touches live simulation state,
+// so it is safe to serve from any goroutine while the simulation runs —
+// the simulation thread refreshes the snapshot via Registry.Publish.
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -24,12 +27,52 @@ func Handler(reg *Registry) http.Handler {
 		}
 		w.Write(body)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/buildz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		json.NewEncoder(w).Encode(buildInfo())
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// BuildInfo is the /buildz response body: the module path and version plus
+// the VCS/toolchain settings the Go linker stamped into the binary.
+type BuildInfo struct {
+	GoVersion string            `json:"go_version"`
+	Path      string            `json:"path,omitempty"`
+	Module    string            `json:"module,omitempty"`
+	Version   string            `json:"version,omitempty"`
+	Settings  map[string]string `json:"settings,omitempty"`
+}
+
+// buildInfo condenses debug.ReadBuildInfo for JSON exposition. Binaries
+// built without module metadata (rare) get just the Go version.
+func buildInfo() BuildInfo {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return BuildInfo{GoVersion: "unknown"}
+	}
+	out := BuildInfo{
+		GoVersion: bi.GoVersion,
+		Path:      bi.Path,
+		Module:    bi.Main.Path,
+		Version:   bi.Main.Version,
+	}
+	if len(bi.Settings) > 0 {
+		out.Settings = make(map[string]string, len(bi.Settings))
+		for _, s := range bi.Settings {
+			out.Settings[s.Key] = s.Value
+		}
+	}
+	return out
 }
 
 // Serve listens on addr and serves Handler(reg) in a background goroutine.

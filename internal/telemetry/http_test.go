@@ -1,0 +1,38 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestHealthzEndpoint(t *testing.T) {
+	h := Handler(NewRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /healthz = %d, want 200", rec.Code)
+	}
+	if got := rec.Body.String(); got != "ok\n" {
+		t.Errorf("GET /healthz body = %q, want %q", got, "ok\n")
+	}
+}
+
+func TestBuildzEndpoint(t *testing.T) {
+	h := Handler(NewRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/buildz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /buildz = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json; charset=utf-8" {
+		t.Errorf("GET /buildz Content-Type = %q", ct)
+	}
+	var bi BuildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &bi); err != nil {
+		t.Fatalf("GET /buildz: invalid JSON: %v\nbody: %s", err, rec.Body.String())
+	}
+	if bi.GoVersion == "" {
+		t.Error("GET /buildz: go_version is empty")
+	}
+}

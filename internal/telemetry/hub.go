@@ -16,9 +16,16 @@ type Options struct {
 	SnapshotCooldown int64
 	// MaxSnapshots bounds retained (and written) dumps per run (default 16).
 	MaxSnapshots int
-	// Writer, when set, streams samples, snapshots and (if the caller tees
-	// the trace buffer into it) events as JSON Lines.
+	// Writer, when set, streams samples, snapshots, episode spans and (if
+	// the caller tees the trace buffer into it) events as JSON Lines.
 	Writer *JSONLWriter
+	// EpisodeDepth is how many closed recovery-episode spans the episode
+	// tracker retains (default 256). Negative disables episode tracking.
+	EpisodeDepth int
+	// ProfileEvery enables the kernel phase profiler on every Nth cycle
+	// (0 disables it). Profiling reads the wall clock but never simulation
+	// state, so it cannot perturb results — only add overhead.
+	ProfileEvery int
 }
 
 func (o *Options) normalize() {
@@ -37,6 +44,9 @@ func (o *Options) normalize() {
 	if o.MaxSnapshots == 0 {
 		o.MaxSnapshots = 16
 	}
+	if o.EpisodeDepth == 0 {
+		o.EpisodeDepth = 256
+	}
 }
 
 // Hub bundles one simulation's telemetry: the metric registry, the cycle
@@ -47,6 +57,7 @@ type Hub struct {
 	Sampler  *Sampler
 	Recorder *FlightRecorder
 	Writer   *JSONLWriter
+	Episodes *EpisodeTracker
 
 	// Pending snapshot trigger (set on deadlock presumption, consumed by
 	// the network's telemetry tick at the end of the same cycle).
@@ -67,6 +78,11 @@ func NewHub(o Options) *Hub {
 	}
 	if o.FlightDepth > 0 {
 		h.Recorder = NewFlightRecorder(o.FlightDepth, o.SnapshotCooldown, o.MaxSnapshots)
+	}
+	if o.EpisodeDepth > 0 {
+		h.Episodes = NewEpisodeTracker(o.EpisodeDepth)
+		h.Episodes.Register(h.Registry)
+		h.Episodes.SetWriter(o.Writer)
 	}
 	return h
 }

@@ -9,8 +9,8 @@ import (
 
 // Line is the decoded superset of every JSONL record type the simulator
 // emits. Type discriminates: "meta", "sample", "event", "snapshot",
-// "counters". Producers write type-specific subsets; consumers (the
-// disha-trace CLI, tests) decode into this struct.
+// "counters", "span". Producers write type-specific subsets; consumers
+// (the disha-trace CLI, tests) decode into this struct.
 type Line struct {
 	Type  string `json:"type"`
 	Cycle int64  `json:"cycle,omitempty"`
@@ -30,6 +30,9 @@ type Line struct {
 
 	// snapshot: one flight-recorder dump.
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
+
+	// span: one closed recovery-episode span.
+	Span *EpisodeSpan `json:"span,omitempty"`
 
 	// counters: end-of-run network totals.
 	Counters map[string]int64 `json:"counters,omitempty"`
@@ -75,6 +78,11 @@ func (w *JSONLWriter) Event(cycle int64, kind string, node int, pkt int64) {
 // WriteSnapshot writes one flight-recorder dump.
 func (w *JSONLWriter) WriteSnapshot(s *Snapshot) {
 	w.write(Line{Type: "snapshot", Cycle: s.Cycle, Snapshot: s})
+}
+
+// WriteSpan writes one closed recovery-episode span.
+func (w *JSONLWriter) WriteSpan(s *EpisodeSpan) {
+	w.write(Line{Type: "span", Cycle: s.End, Span: s})
 }
 
 // WriteCounters writes end-of-run totals.

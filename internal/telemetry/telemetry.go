@@ -1,9 +1,11 @@
 // Package telemetry is the simulator's observability layer: a registry of
-// named counters and gauges (Prometheus text exposition), a cycle-driven
-// sampler that snapshots selected gauges into ring-buffered time series, a
-// flight recorder that retains the last K cycles of condensed per-router
-// state for post-mortem dumps on deadlock presumption, and a JSONL
-// writer/reader for exporting samples, trace events and snapshots.
+// named counters, gauges and fixed-bucket histograms (Prometheus text
+// exposition), a cycle-driven sampler that snapshots selected gauges into
+// ring-buffered time series, a flight recorder that retains the last K
+// cycles of condensed per-router state for post-mortem dumps on deadlock
+// presumption, a recovery-episode span tracer that turns every deadlock
+// presumption into a labeled lifecycle record, and a JSONL writer/reader
+// for exporting samples, trace events, snapshots and episode spans.
 //
 // The package is deliberately passive and single-threaded: all mutation
 // (registration, counter updates, sampling, frame capture) happens on the
@@ -121,12 +123,13 @@ type metricEntry struct {
 	labelSet Labels
 	counter  *Counter
 	gauge    *Gauge
+	hist     *Histogram
 }
 
 // family groups all labeled instances of one metric name.
 type family struct {
 	name, help string
-	kind       string // "counter" or "gauge"
+	kind       string // "counter", "gauge" or "histogram"
 	entries    []*metricEntry
 }
 
@@ -183,6 +186,17 @@ func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64
 	f.entries = append(f.entries, &metricEntry{labels: labels.render(), labelSet: labels, gauge: &Gauge{fn: fn}})
 }
 
+// Histogram registers a fixed-bucket histogram with the given bucket upper
+// bounds (see NewHistogram for the bound rules). It renders in the
+// Prometheus text format as cumulative `name_bucket{le="..."}` series plus
+// `name_sum` and `name_count`.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	h := NewHistogram(bounds)
+	f := r.lookup(name, help, "histogram")
+	f.entries = append(f.entries, &metricEntry{labels: labels.render(), labelSet: labels, hist: h})
+	return h
+}
+
 // Sample is one gathered metric value.
 type Sample struct {
 	Name   string
@@ -191,18 +205,23 @@ type Sample struct {
 }
 
 // Gather evaluates every registered metric. Call only from the goroutine
-// that owns the instrumented state (the simulation loop).
+// that owns the instrumented state (the simulation loop). A histogram
+// contributes two samples, its observation count as `name_count` and its
+// value sum as `name_sum`.
 func (r *Registry) Gather() []Sample {
 	var out []Sample
 	for _, f := range r.families {
 		for _, e := range f.entries {
-			v := 0.0
-			if e.counter != nil {
-				v = float64(e.counter.Value())
-			} else {
-				v = e.gauge.Value()
+			switch {
+			case e.hist != nil:
+				out = append(out,
+					Sample{Name: f.name + "_count", Labels: e.labelSet, Value: float64(e.hist.Count())},
+					Sample{Name: f.name + "_sum", Labels: e.labelSet, Value: e.hist.Sum()})
+			case e.counter != nil:
+				out = append(out, Sample{Name: f.name, Labels: e.labelSet, Value: float64(e.counter.Value())})
+			default:
+				out = append(out, Sample{Name: f.name, Labels: e.labelSet, Value: e.gauge.Value()})
 			}
-			out = append(out, Sample{Name: f.name, Labels: e.labelSet, Value: v})
 		}
 	}
 	return out
@@ -222,6 +241,10 @@ func (r *Registry) renderText(buf []byte) []byte {
 		buf = append(buf, f.kind...)
 		buf = append(buf, '\n')
 		for _, e := range f.entries {
+			if e.hist != nil {
+				buf = e.renderHistogram(buf, f.name)
+				continue
+			}
 			buf = append(buf, f.name...)
 			buf = append(buf, e.labels...)
 			buf = append(buf, ' ')
@@ -233,6 +256,61 @@ func (r *Registry) renderText(buf []byte) []byte {
 			buf = append(buf, '\n')
 		}
 	}
+	return buf
+}
+
+// renderHistogram appends one histogram entry in the Prometheus text
+// format: cumulative `name_bucket{...,le="bound"}` lines (ending with the
+// mandatory le="+Inf" bucket), then `name_sum` and `name_count`.
+func (e *metricEntry) renderHistogram(buf []byte, name string) []byte {
+	h := e.hist
+	cum := uint64(0)
+	counts := h.BucketCounts()
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		buf = append(buf, name...)
+		buf = append(buf, "_bucket"...)
+		buf = e.appendLabelsWithLE(buf, strconv.FormatFloat(bound, 'g', -1, 64))
+		buf = append(buf, ' ')
+		buf = strconv.AppendUint(buf, cum, 10)
+		buf = append(buf, '\n')
+	}
+	buf = append(buf, name...)
+	buf = append(buf, "_bucket"...)
+	buf = e.appendLabelsWithLE(buf, "+Inf")
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+
+	buf = append(buf, name...)
+	buf = append(buf, "_sum"...)
+	buf = append(buf, e.labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendFloat(buf, h.Sum(), 'g', -1, 64)
+	buf = append(buf, '\n')
+
+	buf = append(buf, name...)
+	buf = append(buf, "_count"...)
+	buf = append(buf, e.labels...)
+	buf = append(buf, ' ')
+	buf = strconv.AppendUint(buf, h.Count(), 10)
+	buf = append(buf, '\n')
+	return buf
+}
+
+// appendLabelsWithLE renders the entry's label set with an le="bound" pair
+// appended (the bucket bound label the histogram exposition requires).
+func (e *metricEntry) appendLabelsWithLE(buf []byte, le string) []byte {
+	buf = append(buf, '{')
+	for _, l := range e.labelSet {
+		buf = append(buf, l.Key...)
+		buf = append(buf, '=', '"')
+		buf = append(buf, l.Value...)
+		buf = append(buf, '"', ',')
+	}
+	buf = append(buf, `le="`...)
+	buf = append(buf, le...)
+	buf = append(buf, '"', '}')
 	return buf
 }
 

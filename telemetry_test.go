@@ -50,6 +50,7 @@ func TestTelemetryDeterminism(t *testing.T) {
 			tw := disha.NewTelemetryWriter(&jsonl)
 			sim.EnableTelemetry(disha.TelemetryOptions{
 				SampleEvery: 10, FlightDepth: 32, SnapshotCooldown: 100, Writer: tw,
+				ProfileEvery: 16,
 			})
 			tb := sim.EnableTrace(1024)
 			tb.SetSink(func(e disha.TraceEvent) {
