@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	disha "repro"
+	"repro/internal/telemetry"
 )
 
 // sideConfig is one bisection side: the shared base configuration with
@@ -81,8 +82,13 @@ func main() {
 		granularity = flag.Int("granularity", 256, "coarse comparison stride in cycles")
 		overridesA  = flag.String("a", "", "side A overrides, e.g. alg=disha,misroutes=0")
 		overridesB  = flag.String("b", "", "side B overrides, e.g. alg=disha,misroutes=3")
+		version     = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build().String())
+		return
+	}
 
 	base := sideConfig{
 		radix: *radix, dims: *dims, mesh: *mesh,

@@ -14,15 +14,21 @@ import (
 	"fmt"
 
 	disha "repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		degree = flag.Int("degree", 4, "network ports per router (2n for a k-ary n-cube)")
-		vcs    = flag.Int("vcs", 3, "virtual channels per physical channel")
-		sweep  = flag.Int("sweep", 0, "additionally sweep VCs from 1 to this count")
+		degree  = flag.Int("degree", 4, "network ports per router (2n for a k-ary n-cube)")
+		vcs     = flag.Int("vcs", 3, "virtual channels per physical channel")
+		sweep   = flag.Int("sweep", 0, "additionally sweep VCs from 1 to this count")
+		version = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build().String())
+		return
+	}
 
 	fmt.Println("Chien cost model, 0.8 micron CMOS (paper Section 3.4)")
 	fmt.Println()

@@ -26,6 +26,19 @@
 // from where it died instead of recomputing:
 //
 //	disha-serve -addr :8080 -data-dir /var/lib/disha -checkpoint-every 2000
+//
+// With -fleet the server becomes a distributed sweep coordinator: every
+// point is offered to remote disha-worker processes over /fleet/, with
+// in-process execution as the fallback when no workers are live. Finished
+// points land in a shared result cache keyed by content fingerprint, so
+// identical sub-requests across jobs dedupe to one execution:
+//
+//	disha-serve -addr :8080 -fleet
+//	disha-worker -coordinator http://host:8080/fleet   # on each worker box
+//
+// On SIGINT/SIGTERM the server drains gracefully: it stops accepting
+// submissions (503 + Retry-After), lets points already executing finish,
+// and aborts the rest (journaled sweeps resume on resubmission).
 package main
 
 import (
@@ -39,28 +52,59 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/jobserver"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		queue   = flag.Int("queue", 64, "maximum queued (not yet running) jobs")
-		dataDir = flag.String("data-dir", "", "persistence directory: sweep journals and mid-point checkpoints live here, so killed jobs resume when an identical request is resubmitted (empty = in-memory only)")
-		ckptN   = flag.Int("checkpoint-every", 2000, "cycles between mid-point checkpoints when -data-dir is set (0 = journal-only persistence)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		queue       = flag.Int("queue", 64, "maximum queued (not yet running) jobs")
+		dataDir     = flag.String("data-dir", "", "persistence directory: sweep journals and mid-point checkpoints live here, so killed jobs resume when an identical request is resubmitted (empty = in-memory only)")
+		ckptN       = flag.Int("checkpoint-every", 2000, "cycles between mid-point checkpoints when -data-dir is set (0 = journal-only persistence)")
+		fleet       = flag.Bool("fleet", false, "coordinate a worker fleet: serve the /fleet/ API and execute sweep points on registered disha-worker processes (local fallback when none are live)")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "fleet lease time-to-live: a worker silent this long is presumed dead and its points re-dispatched")
+		maxAttempts = flag.Int("max-attempts", 3, "fleet dispatch attempts per point before falling back to local execution")
+		rateLimit   = flag.Float64("rate-limit", 0, "per-client POST /jobs rate limit in requests/second (0 = unlimited)")
+		rateBurst   = flag.Int("rate-burst", 5, "per-client burst for -rate-limit")
+		drainWait   = flag.Duration("drain-timeout", 2*time.Minute, "how long a signal-triggered drain waits for in-flight points before exiting anyway")
+		version     = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build().String())
+		return
+	}
 
-	srv, err := jobserver.NewWithOptions(jobserver.Options{
+	opts := jobserver.Options{
 		QueueDepth:      *queue,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptN,
-	})
+		RateLimit:       *rateLimit,
+		RateBurst:       *rateBurst,
+	}
+	var coord *fabric.Coordinator
+	if *fleet {
+		coord = fabric.NewCoordinator(fabric.CoordinatorOptions{
+			LeaseTTL:        *leaseTTL,
+			MaxAttempts:     *maxAttempts,
+			CheckpointEvery: *ckptN,
+		})
+		defer coord.Close()
+		opts.Fleet = coord
+	}
+	srv, err := jobserver.NewWithOptions(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "disha-serve:", err)
 		os.Exit(1)
 	}
 	defer srv.Close()
+	if coord != nil {
+		// Register the fleet gauges/counters on the server's registry so
+		// /metrics shows coordinator state alongside engine progress.
+		coord.RegisterMetrics(srv.Registry())
+	}
 	// No WriteTimeout: ?watch=1 streams NDJSON for the lifetime of a job.
 	// The read-side timeouts bound how long a client can hold a connection
 	// open without sending a complete request (slowloris).
@@ -74,7 +118,11 @@ func main() {
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "disha-serve: listening on %s (POST /jobs, GET /jobs/{id}, GET /metrics, GET /healthz, GET /buildz)\n", *addr)
+	mode := "local execution"
+	if *fleet {
+		mode = "fleet coordination on /fleet/"
+	}
+	fmt.Fprintf(os.Stderr, "disha-serve: listening on %s (%s; POST /jobs, GET /jobs/{id}, GET /metrics, GET /healthz, GET /buildz)\n", *addr, mode)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -84,13 +132,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "disha-serve:", err)
 			os.Exit(1)
 		}
-	case <-sig:
-		// Let in-flight responses finish; queued sweeps die with the server
-		// (clients resubmit — submissions are deterministic).
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	case s := <-sig:
+		// Graceful drain: refuse new submissions, let executing points
+		// finish, abort the rest (journaled sweeps resume on resubmission).
+		fmt.Fprintf(os.Stderr, "disha-serve: %v: draining (in-flight points finish, queue is refused)\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "disha-serve:", err)
+		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fmt.Fprintln(os.Stderr, "disha-serve: shutdown:", err)
 		}
+		fmt.Fprintln(os.Stderr, "disha-serve: drained")
 	}
 }

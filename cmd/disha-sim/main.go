@@ -26,6 +26,7 @@ import (
 	"time"
 
 	disha "repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -63,8 +64,13 @@ func main() {
 		sampleEvery  = flag.Int("sample-every", 100, "telemetry sampling period in cycles (negative disables sampling)")
 		profileEvery = flag.Int("profile-every", 64, "kernel phase-profiler sampling period in cycles (0 disables phase timing)")
 		hold         = flag.Duration("hold", 0, "keep the -metrics-addr endpoint up this long after the run (for scraping/pprof)")
+		version      = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build().String())
+		return
+	}
 
 	radices := make([]int, *dims)
 	for i := range radices {

@@ -58,8 +58,13 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for mid-point checkpoints; killed points resume mid-flight with byte-identical results (requires -checkpoint-every)")
 		ckptN     = flag.Int("checkpoint-every", 0, "cycles between mid-point checkpoints (0 = off; requires -checkpoint-dir)")
 		metrics   = flag.String("metrics-addr", "", "serve engine progress on this address at /metrics (optional, e.g. :9090)")
+		version   = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build().String())
+		return
+	}
 
 	if *resume && *journal == "" {
 		fail(fmt.Errorf("-resume requires -journal"))

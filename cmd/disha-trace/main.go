@@ -34,8 +34,13 @@ func main() {
 		pkt      = flag.Int64("pkt", -1, "print the event history of one packet and exit")
 		episodes = flag.Int("episodes", 10, "max recovery episodes to print")
 		snaps    = flag.Int("snapshots", 4, "max flight-recorder snapshots to detail")
+		version  = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.Build().String())
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: disha-trace [flags] <trace.jsonl>")
 		flag.PrintDefaults()

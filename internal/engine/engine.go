@@ -76,6 +76,7 @@ type Report struct {
 	Completed   int // successful jobs, journal restores included
 	FromJournal int
 	Retried     int
+	Aborted     int       // jobs never dispatched because Stop closed mid-run
 	Failures    []Failure // in batch order
 	Elapsed     time.Duration
 	Workers     int
@@ -95,6 +96,9 @@ func (r *Report) String() string {
 		s += fmt.Sprintf(", %d retries", r.Retried)
 	}
 	s += ")"
+	if r.Aborted > 0 {
+		s += fmt.Sprintf("; %d aborted by drain", r.Aborted)
+	}
 	if len(r.Failures) > 0 {
 		s += fmt.Sprintf("; %d FAILED", len(r.Failures))
 	}
@@ -119,6 +123,13 @@ type Config[T any] struct {
 	// Metrics, when non-nil, receives live progress (jobs done/total, ETA)
 	// on the telemetry registry it was built from.
 	Metrics *Metrics
+	// Stop, when non-nil, makes the run drainable: once the channel is
+	// closed no further jobs are handed to workers, jobs already executing
+	// finish (and are journaled) normally, and the undispatched remainder is
+	// counted in Report.Aborted instead of being run. Results stay
+	// deterministic — a drained run is a prefix-complete subset of the full
+	// batch, and resuming from its journal completes the rest.
+	Stop <-chan struct{}
 	// OnDone, when non-nil, is called after every settled job (success,
 	// journal restore or final failure), always from the calling goroutine.
 	OnDone func(Status, JobResult[T])
@@ -261,16 +272,51 @@ func Run[T any](cfg Config[T], jobs []Job[T]) (map[string]T, *Report, error) {
 			}
 		}()
 	}
+	// The dispatcher reports how many jobs it actually handed out: with a
+	// Stop channel the count can fall short of len(pending), and the
+	// collector must not wait for outcomes that will never arrive.
+	dispatchedCh := make(chan int, 1)
 	go func() {
+		n := 0
 		for _, i := range pending {
-			jobCh <- i
+			if cfg.Stop != nil {
+				// Check Stop with priority: a bare two-way select would keep
+				// dispatching at random after the close, since select picks
+				// among ready cases uniformly.
+				select {
+				case <-cfg.Stop:
+					close(jobCh)
+					dispatchedCh <- n
+					return
+				default:
+				}
+				select {
+				case <-cfg.Stop:
+					close(jobCh)
+					dispatchedCh <- n
+					return
+				case jobCh <- i:
+				}
+			} else {
+				jobCh <- i
+			}
+			n++
 		}
 		close(jobCh)
+		dispatchedCh <- n
 	}()
 
 	failures := make(map[int]Failure)
-	for range pending {
-		o := <-outCh
+	received, dispatched := 0, -1
+	for dispatched < 0 || received < dispatched {
+		var o outcome[T]
+		select {
+		case o = <-outCh:
+		case n := <-dispatchedCh:
+			dispatched = n
+			continue
+		}
+		received++
 		key := jobs[o.index].Key
 		st.Retried += o.attempts - 1
 		report.Retried += o.attempts - 1
@@ -307,6 +353,7 @@ func Run[T any](cfg Config[T], jobs []Job[T]) (map[string]T, *Report, error) {
 		})
 	}
 	wg.Wait()
+	report.Aborted = len(pending) - dispatched
 
 	// Failures in deterministic batch order, not completion order.
 	idxs := make([]int, 0, len(failures))

@@ -200,6 +200,117 @@ func TestJournalToleratesTornLines(t *testing.T) {
 	}
 }
 
+func TestJournalResumeSkipsTruncatedLastLine(t *testing.T) {
+	// A SIGKILL can land mid-append, leaving the journal's final record cut
+	// short at an arbitrary byte. Resume must treat the partial line as
+	// never-written — recompute exactly that job — and still produce results
+	// identical to an uninterrupted run.
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal.jsonl")
+	jobs := simJobs(6, false)
+
+	clean, _, err := Run(Config[simResult]{Workers: 2, Seed: 11}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := assemble(t, jobs, clean)
+
+	if _, _, err := Run(Config[simResult]{Workers: 2, Seed: 11, Journal: journal}, jobs); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the file mid-way through its last line (drop the trailing
+	// "}\n" plus a few value bytes) to simulate the crash.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.TrimRight(string(data), "\n")
+	lines := strings.Split(body, "\n")
+	if len(lines) != 6 {
+		t.Fatalf("journal has %d lines, want 6", len(lines))
+	}
+	last := lines[len(lines)-1]
+	truncated := strings.Join(lines[:len(lines)-1], "\n") + "\n" + last[:len(last)/2]
+	if err := os.WriteFile(journal, []byte(truncated), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res, rep, err := Run(Config[simResult]{Workers: 2, Seed: 11, Journal: journal, Resume: true}, jobs)
+	if err != nil {
+		t.Fatalf("resume over a truncated journal must not fail: %v", err)
+	}
+	if rep.FromJournal != 5 {
+		t.Fatalf("restored %d jobs, want 5 (the torn record must be recomputed)", rep.FromJournal)
+	}
+	if rep.Failed() != 0 {
+		t.Fatalf("unexpected failures: %v", rep.Failures)
+	}
+	if got := assemble(t, jobs, res); string(got) != string(want) {
+		t.Fatalf("truncated-journal resume diverged:\nwant %s\ngot  %s", want, got)
+	}
+}
+
+func TestStopDrainsWithoutDispatchingMore(t *testing.T) {
+	// Closing Stop mid-run must let in-flight jobs finish, journal them, and
+	// count the undispatched remainder as Aborted — and a resumed run must
+	// complete the batch with results identical to an uninterrupted one.
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal.jsonl")
+	jobs := simJobs(10, false)
+
+	clean, _, err := Run(Config[simResult]{Workers: 2, Seed: 5}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := assemble(t, jobs, clean)
+
+	stop := make(chan struct{})
+	var settled atomic.Int64
+	gate := make(chan struct{})
+	gated := make([]Job[simResult], len(jobs))
+	copy(gated, jobs)
+	for i := range gated {
+		run := jobs[i].Run
+		gated[i].Run = func(seed uint64) (simResult, error) {
+			<-gate // hold every dispatched job until the drain is signaled
+			return run(seed)
+		}
+	}
+	done := make(chan struct{})
+	var rep *Report
+	go func() {
+		defer close(done)
+		_, rep, err = Run(Config[simResult]{
+			Workers: 2, Seed: 5, Journal: journal, Stop: stop,
+			OnDone: func(Status, JobResult[simResult]) { settled.Add(1) },
+		}, gated)
+	}()
+	close(stop) // drain before any job can complete...
+	close(gate) // ...then release the (at most workers+1 queued) in-flight jobs
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted == 0 {
+		t.Fatalf("drain dispatched the whole batch (aborted=0, completed=%d)", rep.Completed)
+	}
+	if rep.Completed+rep.Aborted != rep.Total {
+		t.Fatalf("completed=%d + aborted=%d != total=%d", rep.Completed, rep.Aborted, rep.Total)
+	}
+
+	// Resume finishes the batch; the combined results match the clean run.
+	res, rep2, err := Run(Config[simResult]{Workers: 2, Seed: 5, Journal: journal, Resume: true}, jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.FromJournal != rep.Completed {
+		t.Fatalf("resume restored %d, want %d", rep2.FromJournal, rep.Completed)
+	}
+	if got := assemble(t, jobs, res); string(got) != string(want) {
+		t.Fatal("drain+resume changed the results")
+	}
+}
+
 func TestFreshRunTruncatesJournal(t *testing.T) {
 	dir := t.TempDir()
 	journal := filepath.Join(dir, "sweep.journal.jsonl")

@@ -1,0 +1,73 @@
+package fabric
+
+import (
+	"sync"
+	"time"
+)
+
+// RateLimiter is a per-client token bucket: every client identity gets
+// Burst tokens refilled at Rate tokens/second, and each admitted request
+// spends one. It is the coordinator-side admission control for job
+// submissions — a single hot client cannot starve the fleet for everyone
+// else.
+type RateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter admitting rate requests/second with the
+// given burst per client. A nil *RateLimiter admits everything, so callers
+// can thread an optional limiter without nil checks.
+func NewRateLimiter(rate, burst float64) *RateLimiter {
+	if rate <= 0 {
+		rate = 1
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &RateLimiter{rate: rate, burst: burst, buckets: make(map[string]*bucket)}
+}
+
+// Allow reports whether a request from client is admitted now. When it is
+// not, retryAfter is how long the client must wait for the next token —
+// the value the HTTP layer puts in the Retry-After header.
+func (l *RateLimiter) Allow(client string) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, found := l.buckets[client]
+	if !found {
+		// Opportunistic GC: before adding a client, drop buckets that have
+		// refilled completely — they carry no state worth keeping.
+		if len(l.buckets) >= 4096 {
+			for id, old := range l.buckets {
+				if old.tokens+now.Sub(old.last).Seconds()*l.rate >= l.burst {
+					delete(l.buckets, id)
+				}
+			}
+		}
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}

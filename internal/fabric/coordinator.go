@@ -1,0 +1,466 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// LeaseTTL is how long a lease survives without a heartbeat before the
+	// worker is presumed dead and the unit re-dispatched (default 15s).
+	LeaseTTL time.Duration
+	// MaxQueue bounds the number of work units waiting for a lease; units
+	// submitted beyond it run locally instead of queueing (default 1024).
+	MaxQueue int
+	// MaxAttempts bounds how often a unit is dispatched to workers before
+	// the coordinator gives up on the fleet and runs it locally (default 3).
+	MaxAttempts int
+	// CheckpointEvery, when positive, asks workers to checkpoint in-progress
+	// points every that many cycles and stream the blobs up, so a
+	// re-dispatched unit resumes mid-point (0 = start over on re-dispatch).
+	CheckpointEvery int
+	// Registry, when non-nil, receives the fleet gauges and counters
+	// (workers live, leases outstanding, queue depth, cache hits/misses,
+	// re-dispatches, ...).
+	Registry *telemetry.Registry
+	// PollInterval is the idle lease-poll cadence advertised to workers
+	// (default LeaseTTL/10, min 100ms).
+	PollInterval time.Duration
+}
+
+// unitState tracks where a work unit is in its lifecycle. Completed units
+// leave the table entirely — their result lives in the cache.
+type unitState int
+
+const (
+	unitPending unitState = iota // queued, waiting for a lease
+	unitLeased                   // held by a worker, lease unexpired
+	unitLocal                    // executing in-process (fallback path)
+)
+
+// unitResult is what waiters receive when a unit settles.
+type unitResult struct {
+	pr  harness.PointResult
+	err error
+}
+
+// unit is one in-flight work unit.
+type unit struct {
+	wu      WorkUnit
+	local   func() (harness.PointResult, error)
+	waiters []chan unitResult
+	state   unitState
+	worker  string    // lease holder when leased
+	expires time.Time // lease expiry when leased
+	ckpt    []byte    // latest checkpoint blob streamed by a lease holder
+}
+
+// Coordinator decomposes sweeps into point work units, leases them to
+// workers, re-dispatches expired leases, and caches results by content
+// fingerprint. Create with NewCoordinator; mount Handler under /fleet/.
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu      sync.Mutex
+	units   map[string]*unit // by fingerprint: pending, leased or local
+	queue   []string         // fingerprints awaiting lease, FIFO
+	cache   map[string]harness.PointResult
+	workers map[string]time.Time // worker id -> last contact
+
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	deduped      atomic.Int64 // waiters attached to an in-flight unit
+	redispatches atomic.Int64
+	remoteRuns   atomic.Int64 // results computed by fleet workers
+	localRuns    atomic.Int64 // results computed in-process (fallback)
+	dupResults   atomic.Int64 // uploads for already-settled units
+	queueFull    atomic.Int64 // submissions pushed to local by the bound
+	workerErrors atomic.Int64 // worker-side failures uploaded
+
+	done chan struct{}
+}
+
+// NewCoordinator starts a coordinator and its lease-expiry sweeper.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 15 * time.Second
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 1024
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = opts.LeaseTTL / 10
+		if opts.PollInterval < 100*time.Millisecond {
+			opts.PollInterval = 100 * time.Millisecond
+		}
+	}
+	c := &Coordinator{
+		opts:    opts,
+		units:   make(map[string]*unit),
+		cache:   make(map[string]harness.PointResult),
+		workers: make(map[string]time.Time),
+		done:    make(chan struct{}),
+	}
+	if reg := opts.Registry; reg != nil {
+		c.RegisterMetrics(reg)
+	}
+	go c.sweeper()
+	return c
+}
+
+// RegisterMetrics registers the fleet gauges and counters on reg. It is
+// called by NewCoordinator when Options.Registry is set; callers that build
+// the registry later (e.g. the job server owns it) call it directly.
+func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
+	{
+		reg.GaugeFunc("fleet_workers_live", "fleet workers seen within the liveness window", nil,
+			func() float64 { return float64(c.Stats().WorkersLive) })
+		reg.GaugeFunc("fleet_leases_outstanding", "work units currently leased to workers", nil,
+			func() float64 { return float64(c.Stats().LeasesOutstanding) })
+		reg.GaugeFunc("fleet_queue_depth", "work units waiting for a lease", nil,
+			func() float64 { return float64(c.Stats().QueueDepth) })
+		reg.GaugeFunc("fleet_cache_hit_rate", "fraction of point executions served from the result cache", nil,
+			func() float64 {
+				h, m := c.cacheHits.Load(), c.cacheMisses.Load()
+				if h+m == 0 {
+					return 0
+				}
+				return float64(h) / float64(h+m)
+			})
+		reg.CounterFunc("fleet_cache_hits_total", "point executions served from the result cache", nil, c.cacheHits.Load)
+		reg.CounterFunc("fleet_cache_misses_total", "point executions not present in the result cache", nil, c.cacheMisses.Load)
+		reg.CounterFunc("fleet_dedup_total", "point executions coalesced onto an already in-flight unit", nil, c.deduped.Load)
+		reg.CounterFunc("fleet_redispatch_total", "expired leases re-dispatched to another worker", nil, c.redispatches.Load)
+		reg.CounterFunc("fleet_remote_runs_total", "points computed by fleet workers", nil, c.remoteRuns.Load)
+		reg.CounterFunc("fleet_local_runs_total", "points computed in-process (no live workers, queue bound, or attempts exhausted)", nil, c.localRuns.Load)
+		reg.CounterFunc("fleet_duplicate_results_total", "result uploads for already-settled units", nil, c.dupResults.Load)
+		reg.CounterFunc("fleet_worker_errors_total", "worker-side execution failures uploaded", nil, c.workerErrors.Load)
+	}
+}
+
+// Close stops the lease sweeper. In-flight Execute calls settle normally.
+func (c *Coordinator) Close() {
+	select {
+	case <-c.done:
+	default:
+		close(c.done)
+	}
+}
+
+// livenessWindow is how long after its last contact a worker still counts
+// as live: two lease TTLs, i.e. several missed heartbeats.
+func (c *Coordinator) livenessWindow() time.Duration { return 2 * c.opts.LeaseTTL }
+
+// liveWorkersLocked counts workers seen within the liveness window.
+// Callers hold c.mu.
+func (c *Coordinator) liveWorkersLocked(now time.Time) int {
+	n := 0
+	for _, seen := range c.workers {
+		if now.Sub(seen) <= c.livenessWindow() {
+			n++
+		}
+	}
+	return n
+}
+
+// Execute runs one point through the fabric and blocks until its result is
+// available: from the shared cache, from a worker that leased the unit, or
+// from the local fallback closure when no live workers exist, the queue is
+// at its bound, or the fleet exhausted its dispatch attempts. Concurrent
+// Executes with the same fingerprint coalesce onto a single execution.
+func (c *Coordinator) Execute(t harness.PointTask, point PointSpec, local func() (harness.PointResult, error)) (harness.PointResult, error) {
+	fp := Fingerprint(t.Key, t.Seed)
+
+	c.mu.Lock()
+	if pr, ok := c.cache[fp]; ok {
+		c.mu.Unlock()
+		c.cacheHits.Add(1)
+		return pr, nil
+	}
+	c.cacheMisses.Add(1)
+	if u, ok := c.units[fp]; ok {
+		// Same point already in flight (another client, another replica
+		// pass): wait for that execution instead of starting a second one.
+		c.deduped.Add(1)
+		ch := make(chan unitResult, 1)
+		u.waiters = append(u.waiters, ch)
+		c.mu.Unlock()
+		r := <-ch
+		return r.pr, r.err
+	}
+
+	u := &unit{
+		wu: WorkUnit{
+			Key: t.Key, Fingerprint: fp, Seed: t.Seed, Point: point,
+		},
+		local: local,
+	}
+	ch := make(chan unitResult, 1)
+	u.waiters = append(u.waiters, ch)
+	c.units[fp] = u
+
+	now := time.Now()
+	switch {
+	case c.liveWorkersLocked(now) == 0:
+		// No fleet: run in-process, but keep the unit visible so concurrent
+		// duplicates still coalesce onto this execution.
+		c.runLocalLocked(u)
+	case len(c.queue) >= c.opts.MaxQueue:
+		// Admission control: a bounded queue keeps a flood of units from
+		// accumulating unboundedly; overflow executes locally instead.
+		c.queueFull.Add(1)
+		c.runLocalLocked(u)
+	default:
+		u.state = unitPending
+		c.queue = append(c.queue, fp)
+	}
+	c.mu.Unlock()
+
+	r := <-ch
+	return r.pr, r.err
+}
+
+// runLocalLocked transitions a unit to in-process execution. Caller holds
+// c.mu; the execution itself happens on a fresh goroutine.
+func (c *Coordinator) runLocalLocked(u *unit) {
+	u.state = unitLocal
+	c.localRuns.Add(1)
+	go func() {
+		pr, err := u.local()
+		c.settle(u.wu.Fingerprint, pr, err)
+	}()
+}
+
+// settle completes a unit: caches the result (on success), wakes every
+// waiter, and drops the unit from the table.
+func (c *Coordinator) settle(fp string, pr harness.PointResult, err error) {
+	c.mu.Lock()
+	u, ok := c.units[fp]
+	if !ok {
+		c.mu.Unlock()
+		return
+	}
+	if err == nil {
+		c.cache[fp] = pr
+	}
+	delete(c.units, fp)
+	waiters := u.waiters
+	u.waiters = nil
+	c.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- unitResult{pr: pr, err: err}
+	}
+}
+
+// Lease hands the next pending unit to a worker, starting its TTL clock.
+// It returns nil when nothing is pending. Any contact marks the worker
+// live.
+func (c *Coordinator) Lease(workerID string) *WorkUnit {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[workerID] = now
+	for len(c.queue) > 0 {
+		fp := c.queue[0]
+		c.queue = c.queue[1:]
+		u, ok := c.units[fp]
+		if !ok || u.state != unitPending {
+			continue // settled or re-dispatched while queued; skip the stale entry
+		}
+		u.state = unitLeased
+		u.worker = workerID
+		u.expires = now.Add(c.opts.LeaseTTL)
+		u.wu.Attempt++
+		wu := u.wu
+		wu.Checkpoint = u.ckpt
+		return &wu
+	}
+	return nil
+}
+
+// Heartbeat renews the given leases for a worker and returns the
+// fingerprints the coordinator no longer recognizes as held by it.
+func (c *Coordinator) Heartbeat(workerID string, fingerprints []string) (drop []string) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[workerID] = now
+	for _, fp := range fingerprints {
+		u, ok := c.units[fp]
+		if !ok || u.state != unitLeased || u.worker != workerID {
+			drop = append(drop, fp)
+			continue
+		}
+		u.expires = now.Add(c.opts.LeaseTTL)
+	}
+	return drop
+}
+
+// StoreCheckpoint records the latest mid-point checkpoint blob for a unit,
+// to be handed to the next lease holder if this one dies.
+func (c *Coordinator) StoreCheckpoint(workerID, fp string, blob []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.workers[workerID] = time.Now()
+	if u, ok := c.units[fp]; ok && len(blob) > 0 {
+		u.ckpt = blob
+	}
+}
+
+// Deliver accepts a worker's result upload. Because every unit is a pure
+// function of (key, seed), the first result to arrive is authoritative;
+// late duplicates from presumed-dead workers are counted and dropped. A
+// worker-side error re-queues the unit until MaxAttempts dispatches have
+// been spent, then falls back to local execution.
+func (c *Coordinator) Deliver(up ResultUpload) {
+	c.mu.Lock()
+	c.workers[up.Worker] = time.Now()
+	u, ok := c.units[up.Fingerprint]
+	if !ok {
+		c.mu.Unlock()
+		c.dupResults.Add(1)
+		return
+	}
+	if up.Error != "" {
+		c.workerErrors.Add(1)
+		if u.wu.Attempt >= c.opts.MaxAttempts {
+			c.runLocalLocked(u)
+			c.mu.Unlock()
+			return
+		}
+		u.state = unitPending
+		u.worker = ""
+		c.queue = append(c.queue, up.Fingerprint)
+		c.mu.Unlock()
+		return
+	}
+	if up.Result == nil {
+		c.mu.Unlock()
+		return
+	}
+	// Success: settle under the same lock so a racing duplicate upload
+	// cannot double-settle (or double-count) the unit.
+	c.cache[up.Fingerprint] = *up.Result
+	delete(c.units, up.Fingerprint)
+	waiters := u.waiters
+	u.waiters = nil
+	c.mu.Unlock()
+	c.remoteRuns.Add(1)
+	for _, ch := range waiters {
+		ch <- unitResult{pr: *up.Result}
+	}
+}
+
+// sweeper is the recovery loop: it expires dead leases (re-dispatching
+// their units, checkpoint blob attached) and, when the fleet has no live
+// workers, drains pending units to local execution so progress never
+// depends on a worker coming back.
+func (c *Coordinator) sweeper() {
+	tick := time.NewTicker(c.opts.LeaseTTL / 4)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-tick.C:
+			c.sweep(time.Now())
+		}
+	}
+}
+
+// sweep performs one expiry pass (split out for tests).
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	for fp, u := range c.units {
+		if u.state == unitLeased && now.After(u.expires) {
+			// Presume the holder dead (it may not be — determinism makes a
+			// late duplicate harmless) and hand the unit to the next worker.
+			c.redispatches.Add(1)
+			if u.wu.Attempt >= c.opts.MaxAttempts {
+				c.runLocalLocked(u)
+				continue
+			}
+			u.state = unitPending
+			u.worker = ""
+			c.queue = append(c.queue, fp)
+		}
+	}
+	if c.liveWorkersLocked(now) == 0 {
+		// Fleet gone: pull every pending unit in-process.
+		for _, fp := range c.queue {
+			if u, ok := c.units[fp]; ok && u.state == unitPending {
+				c.runLocalLocked(u)
+			}
+		}
+		c.queue = c.queue[:0]
+	}
+	c.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the coordinator's state, served by
+// GET /fleet/status and asserted on by tests.
+type Stats struct {
+	WorkersLive       int   `json:"workers_live"`
+	LeasesOutstanding int   `json:"leases_outstanding"`
+	QueueDepth        int   `json:"queue_depth"`
+	UnitsInFlight     int   `json:"units_in_flight"`
+	CacheSize         int   `json:"cache_size"`
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	Deduped           int64 `json:"deduped"`
+	Redispatches      int64 `json:"redispatches"`
+	RemoteRuns        int64 `json:"remote_runs"`
+	LocalRuns         int64 `json:"local_runs"`
+	DuplicateResults  int64 `json:"duplicate_results"`
+	QueueFull         int64 `json:"queue_full"`
+	WorkerErrors      int64 `json:"worker_errors"`
+}
+
+// Stats gathers the current snapshot.
+func (c *Coordinator) Stats() Stats {
+	now := time.Now()
+	c.mu.Lock()
+	leased := 0
+	pending := 0
+	for _, u := range c.units {
+		switch u.state {
+		case unitLeased:
+			leased++
+		case unitPending:
+			pending++
+		}
+	}
+	st := Stats{
+		WorkersLive:       c.liveWorkersLocked(now),
+		LeasesOutstanding: leased,
+		QueueDepth:        pending,
+		UnitsInFlight:     len(c.units),
+		CacheSize:         len(c.cache),
+	}
+	c.mu.Unlock()
+	st.CacheHits = c.cacheHits.Load()
+	st.CacheMisses = c.cacheMisses.Load()
+	st.Deduped = c.deduped.Load()
+	st.Redispatches = c.redispatches.Load()
+	st.RemoteRuns = c.remoteRuns.Load()
+	st.LocalRuns = c.localRuns.Load()
+	st.DuplicateResults = c.dupResults.Load()
+	st.QueueFull = c.queueFull.Load()
+	st.WorkerErrors = c.workerErrors.Load()
+	return st
+}
+
+// String renders a one-line fleet summary for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf("workers=%d leased=%d queued=%d cache=%d (hits=%d) redispatch=%d remote=%d local=%d",
+		s.WorkersLive, s.LeasesOutstanding, s.QueueDepth, s.CacheSize, s.CacheHits, s.Redispatches, s.RemoteRuns, s.LocalRuns)
+}

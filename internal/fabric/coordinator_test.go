@@ -1,0 +1,353 @@
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+func TestFingerprintIdentity(t *testing.T) {
+	a := Fingerprint("key-a", 1)
+	if a != Fingerprint("key-a", 1) {
+		t.Fatal("fingerprint must be deterministic")
+	}
+	if a == Fingerprint("key-b", 1) {
+		t.Fatal("distinct keys must fingerprint differently")
+	}
+	if a == Fingerprint("key-a", 2) {
+		t.Fatal("distinct seeds must fingerprint differently")
+	}
+	if len(a) != 32 {
+		t.Fatalf("fingerprint %q has length %d, want 32 hex chars", a, len(a))
+	}
+}
+
+// task builds a synthetic point task; the coordinator never interprets the
+// spec fields, so placeholders suffice for coordinator-level tests.
+func task(n int) (harness.PointTask, PointSpec) {
+	key := fmt.Sprintf("unit-%03d", n)
+	return harness.PointTask{Key: key, Seed: uint64(1000 + n), Alg: "disha-m3", Load: 0.4},
+		PointSpec{Figure: "4", Scale: "small", Alg: "disha-m3", Load: 0.4}
+}
+
+func resultFor(n int) harness.PointResult {
+	return harness.PointResult{Load: 0.4, MeanLatency: float64(100 + n), Delivered: int64(n)}
+}
+
+func TestExecuteRunsLocallyWithoutWorkersAndCaches(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: 5 * time.Second})
+	defer c.Close()
+	tk, ps := task(1)
+	calls := 0
+	local := func() (harness.PointResult, error) { calls++; return resultFor(1), nil }
+
+	pr, err := c.Execute(tk, ps, local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.MeanLatency != 101 {
+		t.Fatalf("wrong result: %+v", pr)
+	}
+	if calls != 1 {
+		t.Fatalf("local fallback ran %d times, want 1", calls)
+	}
+
+	// Identical resubmission: served from the cache, no second execution.
+	if _, err := c.Execute(tk, ps, local); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("cache miss on identical unit: local ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.CacheHits != 1 || st.LocalRuns != 1 || st.RemoteRuns != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestRemoteLeaseDeliverAndConcurrentDedupe(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: 5 * time.Second})
+	defer c.Close()
+	c.Heartbeat("w1", nil) // mark a worker live so units queue for the fleet
+
+	tk, ps := task(2)
+	localRan := false
+	local := func() (harness.PointResult, error) { localRan = true; return resultFor(2), nil }
+
+	var wg sync.WaitGroup
+	results := make([]harness.PointResult, 2)
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = c.Execute(tk, ps, local)
+		}()
+	}
+
+	// Wait until the unit is queued, then play the worker.
+	var wu *WorkUnit
+	for deadline := time.Now().Add(5 * time.Second); wu == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("unit never became leasable")
+		}
+		wu = c.Lease("w1")
+		if wu == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if wu.Key != tk.Key || wu.Seed != tk.Seed || wu.Attempt != 1 {
+		t.Fatalf("lease: %+v", wu)
+	}
+	if again := c.Lease("w1"); again != nil {
+		t.Fatalf("unit leased twice: %+v", again)
+	}
+	res := resultFor(2)
+	c.Deliver(ResultUpload{Worker: "w1", Fingerprint: wu.Fingerprint, Key: wu.Key, Result: &res})
+	wg.Wait()
+
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if results[i].MeanLatency != 102 {
+			t.Fatalf("waiter %d got %+v", i, results[i])
+		}
+	}
+	if localRan {
+		t.Fatal("local fallback ran despite a live worker")
+	}
+	st := c.Stats()
+	if st.RemoteRuns != 1 || st.Deduped != 1 || st.UnitsInFlight != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// A duplicate upload from a presumed-dead worker is counted and dropped.
+	c.Deliver(ResultUpload{Worker: "w0", Fingerprint: wu.Fingerprint, Key: wu.Key, Result: &res})
+	if st := c.Stats(); st.DuplicateResults != 1 {
+		t.Fatalf("duplicate upload not counted: %+v", st)
+	}
+}
+
+func TestLeaseExpiryRedispatchCarriesCheckpoint(t *testing.T) {
+	// Worker A leases a unit, streams a checkpoint blob, then goes silent
+	// (simulating a SIGKILL). The sweeper must presume it dead after the
+	// lease TTL and re-dispatch the unit — checkpoint attached — to worker
+	// B, whose result then settles the waiters.
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: 200 * time.Millisecond})
+	defer c.Close()
+
+	// Worker B heartbeats continuously so the fleet always has a live
+	// worker (otherwise the sweeper would pull the unit in-process).
+	stopHB := make(chan struct{})
+	defer close(stopHB)
+	go func() {
+		for {
+			select {
+			case <-stopHB:
+				return
+			case <-time.After(25 * time.Millisecond):
+				c.Heartbeat("wB", nil)
+			}
+		}
+	}()
+	c.Heartbeat("wB", nil)
+
+	tk, ps := task(3)
+	done := make(chan harness.PointResult, 1)
+	go func() {
+		pr, err := c.Execute(tk, ps, func() (harness.PointResult, error) {
+			t.Error("local fallback must not run")
+			return harness.PointResult{}, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- pr
+	}()
+
+	// Worker A takes the lease and checkpoints some progress.
+	var wu *WorkUnit
+	for deadline := time.Now().Add(5 * time.Second); wu == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("unit never became leasable")
+		}
+		if wu = c.Lease("wA"); wu == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	c.StoreCheckpoint("wA", wu.Fingerprint, []byte("blob-at-cycle-1000"))
+	// ...and is never heard from again.
+
+	var re *WorkUnit
+	for deadline := time.Now().Add(10 * time.Second); re == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease was never re-dispatched")
+		}
+		if re = c.Lease("wB"); re == nil {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if re.Fingerprint != wu.Fingerprint {
+		t.Fatalf("re-dispatched unit %q, want %q", re.Fingerprint, wu.Fingerprint)
+	}
+	if re.Attempt != 2 {
+		t.Fatalf("re-dispatch attempt = %d, want 2", re.Attempt)
+	}
+	if string(re.Checkpoint) != "blob-at-cycle-1000" {
+		t.Fatalf("re-dispatch lost the checkpoint blob: %q", re.Checkpoint)
+	}
+	res := resultFor(3)
+	c.Deliver(ResultUpload{Worker: "wB", Fingerprint: re.Fingerprint, Key: re.Key, Result: &res})
+	select {
+	case pr := <-done:
+		if pr.MeanLatency != 103 {
+			t.Fatalf("waiter got %+v", pr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never settled after re-dispatched delivery")
+	}
+	if st := c.Stats(); st.Redispatches == 0 {
+		t.Fatalf("redispatch not counted: %+v", st)
+	}
+}
+
+func TestWorkerErrorsExhaustAttemptsThenRunLocally(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: 5 * time.Second, MaxAttempts: 1})
+	defer c.Close()
+	c.Heartbeat("w1", nil)
+
+	tk, ps := task(4)
+	done := make(chan harness.PointResult, 1)
+	go func() {
+		pr, err := c.Execute(tk, ps, func() (harness.PointResult, error) { return resultFor(4), nil })
+		if err != nil {
+			t.Error(err)
+		}
+		done <- pr
+	}()
+
+	var wu *WorkUnit
+	for deadline := time.Now().Add(5 * time.Second); wu == nil; {
+		if time.Now().After(deadline) {
+			t.Fatal("unit never became leasable")
+		}
+		if wu = c.Lease("w1"); wu == nil {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	c.Deliver(ResultUpload{Worker: "w1", Fingerprint: wu.Fingerprint, Key: wu.Key, Error: "simulated worker failure"})
+	select {
+	case pr := <-done:
+		if pr.MeanLatency != 104 {
+			t.Fatalf("local fallback result: %+v", pr)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("unit never fell back to local execution")
+	}
+	st := c.Stats()
+	if st.WorkerErrors != 1 || st.LocalRuns != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestQueueBoundOverflowsToLocal(t *testing.T) {
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: 5 * time.Second, MaxQueue: 1})
+	defer c.Close()
+	c.Heartbeat("w1", nil)
+
+	tk1, ps1 := task(5)
+	tk2, ps2 := task(6)
+	first := make(chan harness.PointResult, 1)
+	go func() {
+		pr, _ := c.Execute(tk1, ps1, func() (harness.PointResult, error) { return resultFor(5), nil })
+		first <- pr
+	}()
+	// Wait for the first unit to occupy the queue.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if c.Stats().QueueDepth == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first unit never queued")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Second unit overflows the bounded queue and runs locally.
+	pr, err := c.Execute(tk2, ps2, func() (harness.PointResult, error) { return resultFor(6), nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.MeanLatency != 106 {
+		t.Fatalf("overflow result: %+v", pr)
+	}
+	if st := c.Stats(); st.QueueFull != 1 {
+		t.Fatalf("queue-full overflow not counted: %+v", st)
+	}
+
+	// Drain the first unit so its goroutine settles.
+	wu := c.Lease("w1")
+	if wu == nil {
+		t.Fatal("first unit not leasable")
+	}
+	res := resultFor(5)
+	c.Deliver(ResultUpload{Worker: "w1", Fingerprint: wu.Fingerprint, Key: wu.Key, Result: &res})
+	<-first
+}
+
+func TestFleetMetricsRegistered(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Second, Registry: reg})
+	defer c.Close()
+	names := reg.Names()
+	want := []string{
+		"fleet_workers_live", "fleet_leases_outstanding", "fleet_queue_depth",
+		"fleet_cache_hit_rate", "fleet_cache_hits_total", "fleet_cache_misses_total",
+		"fleet_redispatch_total", "fleet_remote_runs_total", "fleet_local_runs_total",
+	}
+	have := make(map[string]bool, len(names))
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, n := range want {
+		if !have[n] {
+			t.Fatalf("metric %s not registered (have %v)", n, names)
+		}
+	}
+}
+
+func TestRateLimiterTokenBucket(t *testing.T) {
+	l := NewRateLimiter(10, 2) // 10/s, burst 2
+	for i := 0; i < 2; i++ {
+		if ok, _ := l.Allow("alice"); !ok {
+			t.Fatalf("burst request %d denied", i)
+		}
+	}
+	ok, retry := l.Allow("alice")
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry <= 0 || retry > 150*time.Millisecond {
+		t.Fatalf("retryAfter = %v, want ~100ms at 10 tokens/s", retry)
+	}
+	// A different client has its own bucket.
+	if ok, _ := l.Allow("bob"); !ok {
+		t.Fatal("independent client throttled by alice's bucket")
+	}
+	// Tokens refill with time.
+	time.Sleep(120 * time.Millisecond)
+	if ok, _ := l.Allow("alice"); !ok {
+		t.Fatal("bucket did not refill")
+	}
+	// A nil limiter admits everything.
+	var nilL *RateLimiter
+	if ok, _ := nilL.Allow("anyone"); !ok {
+		t.Fatal("nil limiter must admit")
+	}
+}

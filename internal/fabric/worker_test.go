@@ -1,0 +1,134 @@
+package fabric
+
+import (
+	"context"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+// tinyPoint is a fast real simulation point: figure 3a at small scale with
+// short cycle counts, one curve, one load.
+func tinyPoint(t *testing.T) (harness.PointTask, PointSpec, *harness.Spec) {
+	t.Helper()
+	ps := PointSpec{
+		Figure: "3a", Scale: "small", Warmup: 40, Measure: 80,
+		Alg: "disha-m3-tout4", Load: 0.2, Replica: 0,
+	}
+	spec, err := ps.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	key := spec.PointKey(ps.Alg, ps.Load, ps.Replica)
+	seed := engine.SeedFor(spec.Seed, key)
+	return harness.PointTask{Key: key, Seed: seed, Alg: ps.Alg, Load: ps.Load, Replica: ps.Replica}, ps, spec
+}
+
+// TestWorkerExecutesLeasedPointOverHTTP drives the full remote path: a real
+// worker loop against the coordinator's HTTP API executes a real simulation
+// point, and the uploaded result is byte-identical to running the same point
+// in-process — the determinism contract the whole fabric rests on.
+func TestWorkerExecutesLeasedPointOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real simulation point")
+	}
+	tk, ps, spec := tinyPoint(t)
+
+	// Reference: the same point computed serially in this process.
+	want, err := spec.RunPoint(ps.Alg, ps.Load, tk.Seed, harness.PointOptions{Key: tk.Key})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCoordinator(CoordinatorOptions{LeaseTTL: 2 * time.Second})
+	defer c.Close()
+	srv := httptest.NewServer(c.Handler())
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	workerDone := make(chan error, 1)
+	w := NewWorker(WorkerOptions{
+		Coordinator:   srv.URL,
+		ID:            "wtest",
+		CheckpointDir: t.TempDir(),
+		Logf:          t.Logf,
+	})
+	go func() { workerDone <- w.Run(ctx) }()
+
+	// Wait for the worker to register so Execute dispatches remotely.
+	for deadline := time.Now().Add(10 * time.Second); c.Stats().WorkersLive == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	got, err := c.Execute(tk, ps, func() (harness.PointResult, error) {
+		t.Error("local fallback must not run with a live worker")
+		return harness.PointResult{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("remote result diverges from serial run:\nremote: %+v\nserial: %+v", got, want)
+	}
+	st := c.Stats()
+	if st.RemoteRuns != 1 || st.LocalRuns != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	// Resubmission is a pure cache hit — the worker is never consulted.
+	again, err := c.Execute(tk, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, want) {
+		t.Fatalf("cached result diverges: %+v", again)
+	}
+	if st := c.Stats(); st.CacheHits != 1 {
+		t.Fatalf("no cache hit on resubmission: %+v", st)
+	}
+
+	cancel()
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Fatalf("worker shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not drain after cancel")
+	}
+}
+
+// TestWorkerRejectsMismatchedUnit checks the cache-poisoning guard: a unit
+// whose key or seed does not match what the worker derives from the spec is
+// refused, not executed.
+func TestWorkerRejectsMismatchedUnit(t *testing.T) {
+	tk, ps, _ := tinyPoint(t)
+	w := NewWorker(WorkerOptions{Coordinator: "http://unused", ID: "wtest"})
+
+	wu := &WorkUnit{Key: tk.Key + "-tampered", Fingerprint: "f", Seed: tk.Seed, Point: ps, Attempt: 1}
+	if _, err := w.runUnit(wu, t.TempDir()); err == nil || !strings.Contains(err.Error(), "key mismatch") {
+		t.Fatalf("tampered key: err = %v, want key mismatch", err)
+	}
+
+	wu = &WorkUnit{Key: tk.Key, Fingerprint: "f", Seed: tk.Seed + 1, Point: ps, Attempt: 1}
+	if _, err := w.runUnit(wu, t.TempDir()); err == nil || !strings.Contains(err.Error(), "seed mismatch") {
+		t.Fatalf("tampered seed: err = %v, want seed mismatch", err)
+	}
+
+	wu = &WorkUnit{Key: "k", Fingerprint: "f", Seed: 1, Point: PointSpec{Figure: "nope"}, Attempt: 1}
+	if _, err := w.runUnit(wu, t.TempDir()); err == nil || !strings.Contains(err.Error(), "unknown figure") {
+		t.Fatalf("bad figure: err = %v, want unknown figure", err)
+	}
+}

@@ -46,10 +46,19 @@ type pointProgress struct {
 // checkpointer persists one point's progress to a single atomic file.
 // A nil *checkpointer disables checkpointing throughout runPoint.
 type checkpointer struct {
-	key   string
-	path  string
-	every int
-	next  int // global cycle (warm-up + measurement) of the next save
+	key    string
+	path   string
+	every  int
+	next   int // global cycle (warm-up + measurement) of the next save
+	onSave func(data []byte) error
+}
+
+// CheckpointPath returns the checkpoint file a given job key maps to inside
+// dir. Exported so a fleet worker resuming a re-dispatched lease can place
+// the coordinator-supplied checkpoint blob where RunPoint will find it.
+func CheckpointPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, fmt.Sprintf("point-%x.ckpt", sum[:8]))
 }
 
 // newCheckpointer builds the checkpointer for a job key, or nil when the
@@ -61,10 +70,9 @@ func newCheckpointer(opts RunOptions, key string) *checkpointer {
 	if opts.CheckpointEvery <= 0 || opts.CheckpointDir == "" {
 		return nil
 	}
-	sum := sha256.Sum256([]byte(key))
 	return &checkpointer{
 		key:   key,
-		path:  filepath.Join(opts.CheckpointDir, fmt.Sprintf("point-%x.ckpt", sum[:8])),
+		path:  CheckpointPath(opts.CheckpointDir, key),
 		every: opts.CheckpointEvery,
 	}
 }
@@ -113,6 +121,11 @@ func (ck *checkpointer) save(st *pointProgress, age, netLat, batch *metrics.Coll
 		return fmt.Errorf("harness: checkpoint %s: %w", ck.key, err)
 	}
 	ck.next += ck.every
+	if ck.onSave != nil {
+		if err := ck.onSave(data); err != nil {
+			return fmt.Errorf("harness: checkpoint hook %s: %w", ck.key, err)
+		}
+	}
 	if checkpointSaveHook != nil {
 		return checkpointSaveHook(ck.key, st.warmupRan+st.ran)
 	}

@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"fmt"
+
 	"repro/internal/routing"
 	"repro/internal/sim"
 	"repro/internal/topology"
@@ -42,6 +44,48 @@ func SmallScale() Scale {
 		Loads:   []float64{0.2, 0.4, 0.6, 0.8},
 		Seed:    0xd15ab1e,
 	}
+}
+
+// SpecFor resolves one of the canned paper figures by name at the named
+// scale ("paper" or "small"; empty means paper), with optional overrides:
+// positive warmup/measure replace the scale's cycle counts, a non-zero seed
+// replaces the base seed, and a non-empty loads slice replaces the swept
+// load rates (each must lie in (0, 1]). It is the single spec-resolution
+// path shared by the job server and the fleet worker, so both sides of a
+// remote execution reconstruct byte-identical specs from the same request
+// fields.
+func SpecFor(figure, scale string, warmup, measure int, seed uint64, loads []float64) (*Spec, error) {
+	var sc Scale
+	switch scale {
+	case "", "paper":
+		sc = PaperScale()
+	case "small":
+		sc = SmallScale()
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want \"paper\" or \"small\")", scale)
+	}
+	if warmup > 0 {
+		sc.Warmup = warmup
+	}
+	if measure > 0 {
+		sc.Measure = measure
+	}
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	spec, ok := Figures(sc)[figure]
+	if !ok {
+		return nil, fmt.Errorf("unknown figure %q (want 3a, 3b, 4, 5, 6 or 7)", figure)
+	}
+	if len(loads) > 0 {
+		for _, l := range loads {
+			if l <= 0 || l > 1 {
+				return nil, fmt.Errorf("load %v out of (0, 1]", l)
+			}
+		}
+		spec.Loads = loads
+	}
+	return spec, nil
 }
 
 func (sc Scale) torus() func() topology.Topology {

@@ -146,6 +146,18 @@ type RunOptions struct {
 	CheckpointDir string
 	// Progress, if non-nil, receives one line per settled point.
 	Progress func(string)
+	// PointRunner, if non-nil, intercepts every point's execution: instead
+	// of simulating in-process the engine hands the task (plus a local
+	// fallback closure) to this function, which may execute it anywhere — a
+	// remote fleet worker, a shared result cache — as long as it returns the
+	// value the local closure would. Determinism is preserved because the
+	// task carries the engine-derived seed: any executor computing the same
+	// pure function of (spec, alg, load, seed) returns identical bytes.
+	PointRunner func(t PointTask, local func() (PointResult, error)) (PointResult, error)
+	// Stop, if non-nil, drains the sweep when closed: in-flight points
+	// finish (and are journaled), undispatched points are aborted (see
+	// engine.Config.Stop).
+	Stop <-chan struct{}
 	// Status, if non-nil, receives the engine's structured progress
 	// (done/total, ETA) after every settled point.
 	Status func(engine.Status)
@@ -169,6 +181,17 @@ type pointJob struct {
 	replica int
 }
 
+// PointTask is the portable identity of one engine point job, handed to
+// RunOptions.PointRunner. Key and Seed pin the result bytes; Alg, Load and
+// Replica let a remote executor rebuild the task from the spec.
+type PointTask struct {
+	Key     string
+	Seed    uint64
+	Alg     string
+	Load    float64
+	Replica int
+}
+
 // RunWith executes the experiment through the engine. On point failures it
 // returns the partial Result (every fully-replicated point that did
 // complete), the engine report naming the failed jobs, and a non-nil error.
@@ -189,12 +212,6 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 		replicas = 1
 	}
 
-	// The job key pins the full identity of a point — spec configuration
-	// included, so a journal cannot leak results across different scales or
-	// seeds of the same figure — and via engine.SeedFor it also pins the
-	// point's random stream.
-	cfgTag := fmt.Sprintf("%s|seed=%x|w=%d|m=%d|msg=%d|vc=%d|bd=%d",
-		s.Name, s.Seed, s.Warmup, s.Measure, s.MsgLen, s.VCs, s.BufferDepth)
 	meta := make(map[string]pointJob)
 	var jobs []engine.Job[PointResult]
 	for _, alg := range s.Algs {
@@ -202,13 +219,22 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 		for _, load := range s.Loads {
 			load := load
 			for r := 0; r < replicas; r++ {
-				key := fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, alg.label(), load, r)
+				r := r
+				key := s.PointKey(alg.label(), load, r)
 				meta[key] = pointJob{alg: alg, load: load, replica: r}
 				ck := newCheckpointer(opts, key)
 				jobs = append(jobs, engine.Job[PointResult]{
 					Key: key,
 					Run: func(seed uint64) (PointResult, error) {
-						return s.runPoint(alg, load, seed, ck)
+						local := func() (PointResult, error) {
+							return s.runPoint(alg, load, seed, ck)
+						}
+						if opts.PointRunner != nil {
+							return opts.PointRunner(PointTask{
+								Key: key, Seed: seed, Alg: alg.label(), Load: load, Replica: r,
+							}, local)
+						}
+						return local()
 					},
 				})
 			}
@@ -222,6 +248,7 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 		Journal: opts.Journal,
 		Resume:  opts.Resume,
 		Metrics: opts.Metrics,
+		Stop:    opts.Stop,
 		OnDone: func(st engine.Status, jr engine.JobResult[PointResult]) {
 			if opts.Progress != nil {
 				pj := meta[jr.Key]
@@ -261,7 +288,7 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 			reps := make([]PointResult, 0, replicas)
 			complete := true
 			for r := 0; r < replicas; r++ {
-				key := fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, alg.label(), load, r)
+				key := s.PointKey(alg.label(), load, r)
 				pr, ok := results[key]
 				if !ok {
 					complete = false
@@ -300,6 +327,71 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 			report.Failed(), report.Total, f.Key, firstLine(f.Err))
 	}
 	return res, report, nil
+}
+
+// PointKey derives the engine job key of one (algorithm, load, replica)
+// point. The key pins the full identity of the point — spec configuration
+// included, so a journal cannot leak results across different scales or
+// seeds of the same figure — and via engine.SeedFor it also pins the
+// point's random stream. Remote executors use it as the content fingerprint
+// input: two points with equal keys (and equal base seeds) are guaranteed
+// to produce identical result bytes.
+func (s *Spec) PointKey(algLabel string, load float64, replica int) string {
+	cfgTag := fmt.Sprintf("%s|seed=%x|w=%d|m=%d|msg=%d|vc=%d|bd=%d",
+		s.Name, s.Seed, s.Warmup, s.Measure, s.MsgLen, s.VCs, s.BufferDepth)
+	return fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, algLabel, load, replica)
+}
+
+// PointOptions configures a single RunPoint execution (the fleet worker
+// path). All fields are optional; the zero value runs the point without
+// checkpointing.
+type PointOptions struct {
+	// Key is the engine job key of the point (Spec.PointKey). It names and
+	// validates the checkpoint file, so it is required when checkpointing.
+	Key string
+	// CheckpointEvery/CheckpointDir enable mid-point checkpointing exactly
+	// as in RunOptions: the point's full simulation state is persisted every
+	// CheckpointEvery cycles, and an existing checkpoint for Key is resumed.
+	CheckpointEvery int
+	CheckpointDir   string
+	// OnCheckpoint, if non-nil, receives the sealed checkpoint bytes after
+	// every successful save — the hook a fleet worker uses to stream its
+	// progress blob to the coordinator. A non-nil return aborts the point.
+	OnCheckpoint func(data []byte) error
+}
+
+// RunPoint executes one (algorithm, load) point with an explicit seed and
+// returns its measurement. It is the remote half of RunOptions.PointRunner:
+// a fleet worker receives (alg label, load, seed) from the coordinator and
+// computes here exactly what the coordinator's local fallback would, so the
+// result bytes are identical wherever the point runs. The algorithm is
+// selected by its curve label within this spec.
+func (s *Spec) RunPoint(algLabel string, load float64, seed uint64, po PointOptions) (PointResult, error) {
+	if err := s.normalize(); err != nil {
+		return PointResult{}, err
+	}
+	var alg *AlgSpec
+	for i := range s.Algs {
+		if s.Algs[i].label() == algLabel {
+			alg = &s.Algs[i]
+			break
+		}
+	}
+	if alg == nil {
+		return PointResult{}, fmt.Errorf("harness: spec %q has no curve %q", s.Name, algLabel)
+	}
+	var ck *checkpointer
+	if po.CheckpointEvery > 0 && po.CheckpointDir != "" {
+		if po.Key == "" {
+			return PointResult{}, fmt.Errorf("harness: RunPoint checkpointing requires PointOptions.Key")
+		}
+		if err := os.MkdirAll(po.CheckpointDir, 0o755); err != nil {
+			return PointResult{}, fmt.Errorf("harness: checkpoint dir: %w", err)
+		}
+		ck = newCheckpointer(RunOptions{CheckpointEvery: po.CheckpointEvery, CheckpointDir: po.CheckpointDir}, po.Key)
+		ck.onSave = po.OnCheckpoint
+	}
+	return s.runPoint(*alg, load, seed, ck)
 }
 
 // aggregateReplicas folds N independent runs of one point into means ± 95%
@@ -345,6 +437,12 @@ func firstLine(s string) string {
 	}
 	return s
 }
+
+// Normalize fills the spec's defaulted fields (message length, VCs, buffer
+// depth, cycle counts, ...) exactly as RunWith does before deriving job
+// keys. Remote executors must call it before PointKey so their keys match
+// the coordinator's byte for byte.
+func (s *Spec) Normalize() error { return s.normalize() }
 
 func (s *Spec) normalize() error {
 	if s.Topo == nil || s.Pattern == nil || len(s.Algs) == 0 || len(s.Loads) == 0 {

@@ -23,19 +23,24 @@
 package jobserver
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fabric"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/telemetry"
@@ -64,39 +69,11 @@ type SweepRequest struct {
 	Seed uint64 `json:"seed,omitempty"`
 }
 
-// spec builds the harness spec the request describes.
+// spec builds the harness spec the request describes. Resolution lives in
+// harness.SpecFor so the fleet worker reconstructs byte-identical specs
+// from the same fields.
 func (r *SweepRequest) spec() (*harness.Spec, error) {
-	var sc harness.Scale
-	switch r.Scale {
-	case "", "paper":
-		sc = harness.PaperScale()
-	case "small":
-		sc = harness.SmallScale()
-	default:
-		return nil, fmt.Errorf("unknown scale %q (want \"paper\" or \"small\")", r.Scale)
-	}
-	if r.Warmup > 0 {
-		sc.Warmup = r.Warmup
-	}
-	if r.Measure > 0 {
-		sc.Measure = r.Measure
-	}
-	if r.Seed != 0 {
-		sc.Seed = r.Seed
-	}
-	spec, ok := harness.Figures(sc)[r.Figure]
-	if !ok {
-		return nil, fmt.Errorf("unknown figure %q (want 3a, 3b, 4, 5, 6 or 7)", r.Figure)
-	}
-	if len(r.Loads) > 0 {
-		for _, l := range r.Loads {
-			if l <= 0 || l > 1 {
-				return nil, fmt.Errorf("load %v out of (0, 1]", l)
-			}
-		}
-		spec.Loads = r.Loads
-	}
-	return spec, nil
+	return harness.SpecFor(r.Figure, r.Scale, r.Warmup, r.Measure, r.Seed, r.Loads)
 }
 
 // Progress is the live completion state of a job.
@@ -174,6 +151,9 @@ type Server struct {
 	dataDir         string
 	checkpointEvery int
 
+	fleet   *fabric.Coordinator
+	limiter *fabric.RateLimiter
+
 	reg *telemetry.Registry
 	em  *engine.Metrics
 
@@ -181,8 +161,15 @@ type Server struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	queued    atomic.Int64
+	rejected  atomic.Int64 // 503s: queue full or draining
+	throttled atomic.Int64 // 429s: per-client rate limit
 
-	done chan struct{}
+	draining   atomic.Bool
+	drainCh    chan struct{} // closed by Drain; threaded to the engine as Stop
+	runnerDone chan struct{} // closed when the runner goroutine exits
+	drainOnce  sync.Once
+	closeOnce  sync.Once
+	done       chan struct{}
 }
 
 // Options configures a job server.
@@ -201,6 +188,18 @@ type Options struct {
 	// mid-point, not just between points (see harness.RunOptions). It is
 	// ignored without DataDir; 0 disables mid-point checkpointing.
 	CheckpointEvery int
+	// Fleet, when non-nil, executes every sweep point through the given
+	// coordinator instead of purely in-process: points run on whichever fleet
+	// workers hold leases, fall back to local execution when no workers are
+	// live, and identical points dedupe through the shared result cache. The
+	// coordinator's HTTP API is mounted under /fleet/.
+	Fleet *fabric.Coordinator
+	// RateLimit, when positive, throttles POST /jobs per client address to
+	// this many submissions per second (burst RateBurst, default 5); excess
+	// submissions get 429 with a Retry-After header.
+	RateLimit float64
+	// RateBurst is the per-client burst for RateLimit (default 5).
+	RateBurst int
 }
 
 // New starts a job server and its runner goroutine. queueDepth bounds the
@@ -231,8 +230,18 @@ func NewWithOptions(opts Options) (*Server, error) {
 		queue:           make(chan string, queueDepth),
 		dataDir:         opts.DataDir,
 		checkpointEvery: opts.CheckpointEvery,
+		fleet:           opts.Fleet,
 		reg:             telemetry.NewRegistry(),
+		drainCh:         make(chan struct{}),
+		runnerDone:      make(chan struct{}),
 		done:            make(chan struct{}),
+	}
+	if opts.RateLimit > 0 {
+		burst := float64(opts.RateBurst)
+		if burst <= 0 {
+			burst = 5
+		}
+		s.limiter = fabric.NewRateLimiter(opts.RateLimit, burst)
 	}
 	// Server totals are pull-style metrics over atomics so the registry can
 	// render them from any goroutine; the engine's own progress metrics
@@ -242,6 +251,8 @@ func NewWithOptions(opts Options) (*Server, error) {
 	s.reg.CounterFunc("serve_jobs_failed_total", "sweep jobs finished with failures", nil, s.failed.Load)
 	s.reg.GaugeFunc("serve_jobs_queued", "sweep jobs waiting to run", nil,
 		func() float64 { return float64(s.queued.Load()) })
+	s.reg.CounterFunc("serve_jobs_rejected_total", "sweep submissions rejected with 503 (queue full or draining)", nil, s.rejected.Load)
+	s.reg.CounterFunc("serve_jobs_throttled_total", "sweep submissions throttled with 429 (per-client rate limit)", nil, s.throttled.Load)
 	s.em = engine.NewMetrics(s.reg)
 	s.em.Publish()
 	go s.runner()
@@ -263,12 +274,33 @@ func requestHash(req SweepRequest) string {
 
 // Close stops the runner after the in-flight job (if any) finishes. Submits
 // after Close fail with 503.
-func (s *Server) Close() { close(s.done) }
+func (s *Server) Close() { s.closeOnce.Do(func() { close(s.done) }) }
+
+// Drain gracefully shuts the server down: new submissions are refused with
+// 503 (Retry-After set), the in-flight sweep is drained — points already
+// executing finish, everything not yet dispatched is aborted and left for a
+// journal resume — and Drain returns once the runner is idle or ctx expires.
+// It is safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	s.Close()
+	select {
+	case <-s.runnerDone:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("jobserver: drain: %w", ctx.Err())
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Registry exposes the server's telemetry registry (tests, embedding).
 func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 func (s *Server) runner() {
+	defer close(s.runnerDone)
 	for {
 		select {
 		case <-s.done:
@@ -295,6 +327,20 @@ func (s *Server) runJob(id string) {
 		Replicas: req.Replicas,
 		Retries:  req.Retries,
 		Metrics:  s.em,
+		Stop:     s.drainCh,
+	}
+	if s.fleet != nil {
+		// Fleet mode: every point goes through the coordinator, which decides
+		// between a cached result, a fleet worker, or the local closure. The
+		// PointSpec carries exactly the request fields harness.SpecFor consumes,
+		// so workers rebuild a byte-identical spec.
+		opts.PointRunner = func(t harness.PointTask, local func() (harness.PointResult, error)) (harness.PointResult, error) {
+			return s.fleet.Execute(t, fabric.PointSpec{
+				Figure: req.Figure, Scale: req.Scale,
+				Warmup: req.Warmup, Measure: req.Measure, Seed: req.Seed,
+				Alg: t.Alg, Load: t.Load, Replica: t.Replica,
+			}, local)
+		}
 	}
 	if s.dataDir != "" {
 		h := requestHash(req)
@@ -326,11 +372,19 @@ func (s *Server) runJob(id string) {
 	if res != nil {
 		j.status.Episodes = episodeCounts(res)
 	}
-	if err != nil {
+	switch {
+	case err != nil:
 		j.status.State = "failed"
 		j.status.Error = err.Error()
 		s.failed.Add(1)
-	} else {
+	case report != nil && report.Aborted > 0:
+		// Drained mid-sweep: the journal holds every finished point, so
+		// resubmitting the same request after a restart resumes where we
+		// stopped. Mark the job failed so clients notice it is incomplete.
+		j.status.State = "failed"
+		j.status.Error = fmt.Sprintf("drained by shutdown with %d of %d points pending", report.Aborted, report.Total)
+		s.failed.Add(1)
+	default:
 		j.status.State = "done"
 		s.completed.Add(1)
 	}
@@ -348,6 +402,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/result.json", s.handleResultJSON)
 	mux.HandleFunc("GET /jobs/{id}/result.csv", s.handleResultCSV)
+	if s.fleet != nil {
+		mux.Handle("/fleet/", http.StripPrefix("/fleet", s.fleet.Handler()))
+	}
 	// Reuse the telemetry exposition handler (it also serves pprof, the
 	// liveness probe and build metadata).
 	th := telemetry.Handler(s.reg)
@@ -364,6 +421,18 @@ func (s *Server) Handler() http.Handler {
 const maxSubmitBytes = 1 << 20
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	// Admission control runs before the body is even read: a draining server
+	// and a throttled client get their answer cheaply.
+	if s.draining.Load() {
+		s.rejected.Add(1)
+		unavailable(w, http.StatusServiceUnavailable, 60, "server is draining for shutdown")
+		return
+	}
+	if ok, retry := s.limiter.Allow(clientKey(r)); !ok {
+		s.throttled.Add(1)
+		unavailable(w, http.StatusTooManyRequests, retrySeconds(retry), "rate limit exceeded for %s", clientKey(r))
+		return
+	}
 	var req SweepRequest
 	body := http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	dec := json.NewDecoder(body)
@@ -410,7 +479,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.status.State = "failed"
 		j.status.Error = "queue full"
 		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, "job queue full")
+		s.rejected.Add(1)
+		unavailable(w, http.StatusServiceUnavailable, s.retryHintSeconds(), "job queue full")
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+id)
@@ -527,4 +597,55 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// unavailable writes a 503/429 with a Retry-After header and the same
+// structured JSON error body as every other error path (413, 400, ...), plus
+// a machine-readable retry_after_seconds mirror of the header.
+func unavailable(w http.ResponseWriter, code, retryAfter int, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfter))
+	writeJSON(w, code, map[string]any{
+		"error":               fmt.Sprintf(format, args...),
+		"retry_after_seconds": retryAfter,
+	})
+}
+
+// retrySeconds renders a duration as a Retry-After value: whole seconds,
+// rounded up, at least 1.
+func retrySeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// retryHintSeconds estimates when a queue slot might free up: the in-flight
+// job's ETA when one is running (clamped to [1s, 5min]), a flat 30s
+// otherwise.
+func (s *Server) retryHintSeconds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, j := range s.jobs {
+		if j.status.State == "running" && j.status.Progress.ETASeconds > 0 {
+			secs := int(math.Ceil(j.status.Progress.ETASeconds))
+			if secs < 1 {
+				secs = 1
+			}
+			if secs > 300 {
+				secs = 300
+			}
+			return secs
+		}
+	}
+	return 30
+}
+
+// clientKey identifies the submitting client for rate limiting: the remote
+// IP without the ephemeral port, falling back to the raw RemoteAddr.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
 }

@@ -330,14 +330,26 @@ func TestQueueFull(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusAccepted:
 		case http.StatusServiceUnavailable:
 			got503 = true
+			// The overload response carries a retry hint in both the header
+			// and the structured JSON body.
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("queue-full 503 without Retry-After header")
+			}
+			var e struct {
+				Error      string `json:"error"`
+				RetryAfter int    `json:"retry_after_seconds"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" || e.RetryAfter < 1 {
+				t.Fatalf("queue-full 503 body not structured: %v (%+v)", err, e)
+			}
 		default:
 			t.Fatalf("unexpected status %d", resp.StatusCode)
 		}
+		resp.Body.Close()
 	}
 	if !got503 {
 		t.Fatal("queue never reported full")

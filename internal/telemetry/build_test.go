@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestBuildMatchesBuildzEndpoint pins the -version/buildz consistency
+// contract: the struct Build() returns (what every cmd binary's -version
+// flag prints) must be byte-for-byte the same data /buildz serves.
+func TestBuildMatchesBuildzEndpoint(t *testing.T) {
+	h := Handler(NewRegistry())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/buildz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/buildz status %d", rec.Code)
+	}
+	var served BuildInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &served); err != nil {
+		t.Fatalf("/buildz body: %v", err)
+	}
+	direct := Build()
+	a, _ := json.Marshal(direct)
+	b, _ := json.Marshal(served)
+	if string(a) != string(b) {
+		t.Fatalf("Build() and /buildz disagree:\nBuild():  %s\n/buildz:  %s", a, b)
+	}
+	if direct.GoVersion == "" {
+		t.Fatal("Build() must always report a Go version")
+	}
+}
+
+// TestBuildInfoString checks the one-line rendering used by -version.
+func TestBuildInfoString(t *testing.T) {
+	b := BuildInfo{
+		GoVersion: "go1.22.0",
+		Path:      "repro/cmd/disha-serve",
+		Module:    "repro",
+		Version:   "(devel)",
+		Settings:  map[string]string{"vcs.revision": "abcdef0123456789", "vcs.modified": "true"},
+	}
+	got := b.String()
+	for _, want := range []string{"repro/cmd/disha-serve", "(devel)", "go1.22.0", "vcs.revision=abcdef012345", "+dirty"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("String() = %q, missing %q", got, want)
+		}
+	}
+	if strings.Contains(got, "abcdef0123456789") {
+		t.Fatalf("String() = %q, revision must be truncated to 12 chars", got)
+	}
+
+	// A binary with no module metadata still renders something sensible.
+	bare := BuildInfo{GoVersion: "go1.22.0"}
+	if got := bare.String(); !strings.Contains(got, "unknown") || !strings.Contains(got, "go1.22.0") {
+		t.Fatalf("bare String() = %q", got)
+	}
+}

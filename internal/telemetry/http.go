@@ -53,6 +53,40 @@ type BuildInfo struct {
 	Settings  map[string]string `json:"settings,omitempty"`
 }
 
+// Build returns the process's condensed build metadata — the same struct
+// the /buildz endpoint serves. Every cmd binary's -version flag prints
+// Build().String(), so the CLI and HTTP views of a deployment can never
+// disagree about what is running.
+func Build() BuildInfo { return buildInfo() }
+
+// String renders the one-line form the -version flag prints:
+// "path version (go_version, vcs.revision=...)".
+func (b BuildInfo) String() string {
+	path := b.Path
+	if path == "" {
+		path = b.Module
+	}
+	if path == "" {
+		path = "unknown"
+	}
+	version := b.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	s := path + " " + version + " (" + b.GoVersion
+	if rev, ok := b.Settings["vcs.revision"]; ok {
+		r := rev
+		if len(r) > 12 {
+			r = r[:12]
+		}
+		s += ", vcs.revision=" + r
+		if b.Settings["vcs.modified"] == "true" {
+			s += "+dirty"
+		}
+	}
+	return s + ")"
+}
+
 // buildInfo condenses debug.ReadBuildInfo for JSON exposition. Binaries
 // built without module metadata (rare) get just the Go version.
 func buildInfo() BuildInfo {
