@@ -247,6 +247,11 @@ type SimConfig struct {
 	// scan; disabling it only costs throughput at low load. Exists for
 	// benchmarking the full-scan baseline.
 	DisableActiveSet bool
+	// ReferenceScan runs the router-local phases through the retained
+	// reference scan path instead of the optimized struct-of-arrays scans.
+	// Byte-identical to the default path; exists as the baseline for the
+	// differential conformance suite and for benchmarking the SoA speedup.
+	ReferenceScan bool
 }
 
 // BurstConfig shapes bursty injection (mean burst and idle lengths, cycles).
@@ -293,7 +298,11 @@ func NewSimulator(cfg SimConfig) (*Simulator, error) {
 		TokenHopsPerCycle: cfg.TokenHopsPerCycle,
 		InjectionThrottle: cfg.InjectionThrottle,
 		Burst:             cfg.Burst,
-		Kernel:            network.KernelConfig{Shards: cfg.Shards, DisableActiveSet: cfg.DisableActiveSet},
+		Kernel: network.KernelConfig{
+			Shards:           cfg.Shards,
+			DisableActiveSet: cfg.DisableActiveSet,
+			ReferenceScan:    cfg.ReferenceScan,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -351,10 +360,10 @@ func (s *Simulator) FailLink(node Node, port int) error {
 func (s *Simulator) Snapshot(w io.Writer) error { return s.net.Snapshot(w) }
 
 // Restore loads a Snapshot stream into this simulator. The simulator must
-// be freshly built with the identical SimConfig and never stepped; Shards
-// and DisableActiveSet alone may differ, since the sharded and active-set
-// kernels are byte-identical to the serial full scan. On error the
-// simulator is unusable and must be discarded.
+// be freshly built with the identical SimConfig and never stepped; Shards,
+// DisableActiveSet and ReferenceScan alone may differ, since the sharded,
+// active-set and reference-scan kernels are byte-identical to the serial
+// optimized scan. On error the simulator is unusable and must be discarded.
 func (s *Simulator) Restore(r io.Reader) error { return s.net.Restore(r) }
 
 // SaveCheckpoint atomically writes the simulation state to a file: the

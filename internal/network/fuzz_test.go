@@ -77,3 +77,73 @@ func FuzzConfigNormalize(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSoALayout drives the struct-of-arrays layout through arbitrary
+// geometries — radix, VC count, injection VCs, buffer depth, load, seed —
+// and insists the optimized scan path stays digest-locked to the retained
+// reference path over a short run, with CheckInvariants (which includes the
+// per-router SoA CheckState cross-check) clean on both sides. The committed
+// corpus pins the shapes most likely to break slot arithmetic: 2-ary tori
+// (every port a wraparound), odd radices, and 1-VC configurations where the
+// injection-slot block starts immediately after a single-VC port block.
+func FuzzSoALayout(f *testing.F) {
+	// 2-ary torus, 1 VC, minimal depth.
+	f.Add(uint8(2), uint8(2), uint8(0), uint8(1), uint8(1), uint8(1), uint8(40), uint64(1), uint8(80))
+	// Odd × odd mesh under NegativeFirst.
+	f.Add(uint8(3), uint8(5), uint8(3), uint8(2), uint8(2), uint8(2), uint8(50), uint64(7), uint8(100))
+	// Odd-radix torus, deadlock-prone DISHA settings.
+	f.Add(uint8(5), uint8(5), uint8(0), uint8(2), uint8(1), uint8(1), uint8(60), uint64(42), uint8(120))
+	// Duato needs 3 VCs on a torus; more injection VCs than network VCs.
+	f.Add(uint8(4), uint8(4), uint8(5), uint8(3), uint8(2), uint8(4), uint8(50), uint64(9), uint8(90))
+	f.Fuzz(func(t *testing.T, kx, ky, algSel, vcs, depth, injVCs, loadPct uint8, seed uint64, cycles uint8) {
+		algs := []routing.Algorithm{
+			routing.Disha(0), routing.Disha(3), routing.DOR(),
+			routing.NegativeFirst(), routing.DallyAoki(), routing.Duato(),
+		}
+		build := func(ref bool) (*Network, error) {
+			topo, err := topology.NewTorus(int(kx)%9, int(ky)%9)
+			if err != nil {
+				return nil, err
+			}
+			return New(Config{
+				Topo:      topo,
+				Algorithm: algs[int(algSel)%len(algs)],
+				Pattern:   traffic.Uniform(topo),
+				LoadRate:  float64(loadPct%100) / 100,
+				MsgLen:    4,
+				Seed:      seed,
+				Router: router.Config{
+					VCs:          int(vcs)%5 + 1,
+					BufferDepth:  int(depth)%4 + 1,
+					InjectionVCs: int(injVCs) % 6,
+					Timeout:      16,
+				},
+				Kernel: KernelConfig{ReferenceScan: ref},
+			})
+		}
+		soa, err := build(false)
+		if err != nil {
+			return // invalid geometry/algorithm combination; rejection is fine
+		}
+		defer soa.Close()
+		ref, err := build(true)
+		if err != nil {
+			t.Fatalf("reference build failed where SoA build succeeded: %v", err)
+		}
+		defer ref.Close()
+		steps := int(cycles) % 150
+		for i := 0; i < steps; i++ {
+			soa.Step()
+			ref.Step()
+			if soa.Fingerprint() != ref.Fingerprint() {
+				reportDivergence(t, i+1, soa, ref)
+			}
+		}
+		if err := soa.CheckInvariants(); err != nil {
+			t.Fatalf("SoA path after %d cycles: %v", steps, err)
+		}
+		if err := ref.CheckInvariants(); err != nil {
+			t.Fatalf("reference path after %d cycles: %v", steps, err)
+		}
+	})
+}

@@ -76,16 +76,23 @@ func goldenCases() []goldenCase {
 // shard count, checking structural invariants along the way, and returns the
 // final state fingerprint.
 func runCase(t *testing.T, gc goldenCase, shards int) string {
+	return runCaseKernel(t, gc, KernelConfig{Shards: shards})
+}
+
+// runCaseKernel is runCase with full kernel-knob control: shard count,
+// reference vs optimized scan path, active-set scheduler on or off. Every
+// combination must land on the same committed digest.
+func runCaseKernel(t *testing.T, gc goldenCase, kern KernelConfig) string {
 	t.Helper()
 	cfg := gc.build()
-	cfg.Kernel.Shards = shards
+	cfg.Kernel = kern
 	n := mustNet(t, cfg)
 	defer n.Close()
 	for i := 0; i < gc.cycles; i++ {
 		n.Step()
 		if i%50 == 49 {
 			if err := n.CheckInvariants(); err != nil {
-				t.Fatalf("cycle %d (shards=%d): %v", i+1, shards, err)
+				t.Fatalf("cycle %d (kernel=%+v): %v", i+1, kern, err)
 			}
 		}
 	}
@@ -146,6 +153,39 @@ func TestGoldenDigests(t *testing.T) {
 		} else if got != want[name] {
 			t.Errorf("%s: digest %s, golden %s — simulation behavior changed; if intentional, regenerate with -update-golden", name, got, want[name])
 		}
+	}
+}
+
+// TestGoldenKernelVariants proves every kernel knob digest-invariant against
+// the same committed goldens: the retained reference scan path (serial and
+// sharded), the active-set scheduler disabled, and both at once must all
+// land on the digests the optimized SoA path produced. A divergence here
+// with TestGoldenDigests green means the reference and optimized scans have
+// drifted apart — exactly the regression the SoA refactor's conformance
+// layer exists to catch.
+func TestGoldenKernelVariants(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden digests are updated by TestGoldenDigests")
+	}
+	want := readGolden(t)
+	variants := []struct {
+		name string
+		kern KernelConfig
+	}{
+		{"reference-serial", KernelConfig{ReferenceScan: true}},
+		{"reference-shards4", KernelConfig{ReferenceScan: true, Shards: 4}},
+		{"activeset-off", KernelConfig{DisableActiveSet: true}},
+		{"reference-activeset-off", KernelConfig{ReferenceScan: true, DisableActiveSet: true}},
+	}
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			for _, v := range variants {
+				if got := runCaseKernel(t, gc, v.kern); got != want[gc.name] {
+					t.Errorf("%s: digest %s, golden %s", v.name, got, want[gc.name])
+				}
+			}
+		})
 	}
 }
 

@@ -32,7 +32,13 @@ type flitKey struct {
 //     recovering on the Token (OnDB, seized, header not yet arrived), and
 //     the Token's held/holder state agrees with it; an occupied Deadlock
 //     Buffer whose packet's header has not arrived implies that packet
-//     holds the Token.
+//     holds the Token;
+//   - SoA layout soundness: every router's slice of the shared
+//     struct-of-arrays buffers passes router.CheckState — ring cursors in
+//     range, vacated ring slots zeroed, grants inside their sentinel
+//     domains, credits in range, flit counter consistent with the rings —
+//     so a scan-path bug that corrupts the flat layout is caught even
+//     before it changes view-level behavior.
 //
 // The conformance tests call it every few cycles — including under -race
 // with the sharded kernel — so a phase-ordering bug that corrupts state
@@ -56,6 +62,9 @@ func (n *Network) CheckInvariants() error {
 
 	for _, r := range n.routers {
 		node := r.NodeID()
+		if err := r.CheckState(); err != nil {
+			return fmt.Errorf("network invariant: %w", err)
+		}
 		routerFlits := 0
 		for p := 0; p < r.InputPorts(); p++ {
 			for v := 0; v < r.InputVCCount(p); v++ {

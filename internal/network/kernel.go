@@ -29,6 +29,15 @@ type KernelConfig struct {
 	// to benchmark the full-scan baseline and as an escape hatch; like
 	// Shards, it may differ freely between a snapshot and its restore.
 	DisableActiveSet bool
+	// ReferenceScan runs the router-local phases through the retained
+	// reference scan path (router.StageRoutingRef and friends — the faithful
+	// port of the pre-SoA per-slot walks) instead of the optimized
+	// struct-of-arrays scans. The two paths make identical decisions in
+	// identical order, so this knob is digest-invariant like the others and
+	// may differ freely between a snapshot and its restore; it exists as the
+	// baseline for the differential conformance suite and the benchgate
+	// speed gates.
+	ReferenceScan bool
 }
 
 func (k *KernelConfig) normalize(nodes int) error {
@@ -169,9 +178,9 @@ func (n *Network) stageShard(lo, hi, shard int) {
 		for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
 			r := n.routers[i]
 			s0 := time.Now()
-			r.StageRouting()
+			n.stageRoute(r)
 			s1 := time.Now()
-			buf = r.StageSwitch(buf)
+			buf = n.stageSwitch(r, buf)
 			routeNS += s1.Sub(s0).Nanoseconds()
 			switchNS += time.Since(s1).Nanoseconds()
 		}
@@ -181,10 +190,38 @@ func (n *Network) stageShard(lo, hi, shard int) {
 	}
 	for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
 		r := n.routers[i]
-		r.StageRouting()
-		buf = r.StageSwitch(buf)
+		n.stageRoute(r)
+		buf = n.stageSwitch(r, buf)
 	}
 	n.stageBufs[shard] = buf
+}
+
+// stageRoute, stageSwitch and tickTimers dispatch one router's scan phases
+// to the optimized SoA path or, under KernelConfig.ReferenceScan, to the
+// retained reference path. The branch is per router per phase — noise next
+// to the scan itself — and keeps every caller (serial loop, shard worker,
+// profiled variants) on one dispatch point.
+func (n *Network) stageRoute(r *router.Router) {
+	if n.refScan {
+		r.StageRoutingRef()
+		return
+	}
+	r.StageRouting()
+}
+
+func (n *Network) stageSwitch(r *router.Router, buf []router.Transfer) []router.Transfer {
+	if n.refScan {
+		return r.StageSwitchRef(buf)
+	}
+	return r.StageSwitch(buf)
+}
+
+func (n *Network) tickTimers(r *router.Router) {
+	if n.refScan {
+		r.TickTimersRef()
+		return
+	}
+	r.TickTimers()
 }
 
 // timerShard runs the deadlock-timer phase for the active routers in
@@ -192,6 +229,6 @@ func (n *Network) stageShard(lo, hi, shard int) {
 // afterwards.
 func (n *Network) timerShard(lo, hi int) {
 	for i := n.nextActive(lo, hi); i >= 0; i = n.nextActive(i+1, hi) {
-		n.routers[i].TickTimers()
+		n.tickTimers(n.routers[i])
 	}
 }

@@ -16,7 +16,7 @@ import "repro/internal/sim"
 // input VCs and Deadlock Buffer lanes. It is maintained incrementally at
 // every buffer push/pop, so the active-set scheduler's drain check is O(1);
 // CheckInvariants cross-checks it against a full buffer walk.
-func (r *Router) FlitCount() int { return r.flitCount }
+func (r *Router) FlitCount() int { return int(r.st.flitCount[r.node]) }
 
 // CrossbarIdle reports whether the packet-by-packet crossbar holds no
 // connection state: no wired input, no Deadlock Buffer connection, and an
@@ -26,9 +26,10 @@ func (r *Router) FlitCount() int { return r.flitCount }
 // router active until the crossbar has settled. Under flit-by-flit
 // allocation the crossbar state is never populated and this is always true.
 func (r *Router) CrossbarIdle() bool {
-	for q := range r.conn {
-		c := &r.conn[q]
-		if c.inPort != connNone || c.db || c.saved {
+	s := r.st
+	for q := 0; q < r.deg; q++ {
+		i := r.cx0 + q
+		if s.cxInPort[i] != connNone || s.cxDB[i] || s.cxSaved[i] {
 			return false
 		}
 	}
@@ -54,27 +55,24 @@ func (r *Router) CrossbarIdle() bool {
 // woken by a mid-cycle flit arrival has already missed the cycle's staging
 // pass but still runs its timer pass live.
 func (r *Router) CatchUpIdle(stageCycles, timerCycles int) {
+	s := r.st
 	if stageCycles > 0 {
-		total := 0
-		for p := range r.inputs {
-			total += len(r.inputs[p])
-		}
-		r.vcArbOffset = (r.vcArbOffset + stageCycles) % max(total, 1)
+		s.vcArbOff[r.node] = int32((int(s.vcArbOff[r.node]) + stageCycles) % max(s.stride, 1))
 	}
 	if timerCycles > 0 {
 		if r.cfg.AdaptiveTimeout {
-			ticks := r.decayCount + timerCycles
+			ticks := int(s.decayCount[r.node]) + timerCycles
 			decays := ticks / 256
-			r.decayCount = ticks % 256
-			if over := r.effTout - r.cfg.Timeout; over > 0 {
+			s.decayCount[r.node] = int32(ticks % 256)
+			if over := s.effTout[r.node] - r.cfg.Timeout; over > 0 {
 				if int64(decays) < int64(over) {
-					r.effTout -= sim.Cycle(decays)
+					s.effTout[r.node] -= sim.Cycle(decays)
 				} else {
-					r.effTout = r.cfg.Timeout
+					s.effTout[r.node] = r.cfg.Timeout
 				}
 			}
 		}
-		r.lastBlocked = 0
-		r.lastPresumed = 0
+		s.lastBlocked[r.node] = 0
+		s.lastPresumed[r.node] = 0
 	}
 }

@@ -4,38 +4,60 @@ import (
 	"testing"
 
 	"repro/internal/packet"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/topology"
 )
 
-func TestFIFOBasics(t *testing.T) {
-	f := newFIFO(2)
-	if !f.Empty() || f.Full() || f.Len() != 0 || f.Cap() != 2 || f.Space() != 2 {
-		t.Fatal("fresh fifo state wrong")
+// ringState builds a normalized two-node-per-dim state to exercise the SoA
+// flit rings directly.
+func ringState(t *testing.T, cfg Config) (*State, topology.Topology) {
+	t.Helper()
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.MustTorus(4, 4)
+	return NewState(topo, cfg), topo
+}
+
+func TestRingBasics(t *testing.T) {
+	cfg := Default()
+	cfg.BufferDepth = 2
+	s, _ := ringState(t, cfg)
+	i := 3 // an arbitrary input VC slot
+	if s.inLen[i] != 0 {
+		t.Fatal("fresh ring not empty")
 	}
 	p := packet.New(1, 0, 1, 3, 0)
-	f.Push(p.Flit(0))
-	f.Push(p.Flit(1))
-	if !f.Full() || f.Space() != 0 || f.Len() != 2 {
-		t.Fatal("full fifo state wrong")
+	s.inPush(i, p.Flit(0))
+	s.inPush(i, p.Flit(1))
+	if int(s.inLen[i]) != 2 {
+		t.Fatal("full ring length wrong")
 	}
-	if f.Peek().Seq != 0 {
+	if s.inPeek(i).Seq != 0 {
 		t.Fatal("peek must see the oldest flit")
 	}
-	if f.Pop().Seq != 0 || f.Pop().Seq != 1 {
+	if s.inAt(i, 1).Seq != 1 {
+		t.Fatal("inAt must index from the head")
+	}
+	if s.inPop(i).Seq != 0 || s.inPop(i).Seq != 1 {
 		t.Fatal("pop order wrong")
 	}
-	if !f.Empty() {
-		t.Fatal("fifo should be empty")
+	if s.inLen[i] != 0 {
+		t.Fatal("ring should be empty")
 	}
 }
 
-func TestFIFOWrapAround(t *testing.T) {
-	f := newFIFO(2)
+func TestRingWrapAround(t *testing.T) {
+	cfg := Default()
+	cfg.BufferDepth = 2
+	s, _ := ringState(t, cfg)
 	p := packet.New(1, 0, 1, 8, 0)
 	// Interleave pushes and pops so the ring indices wrap repeatedly.
-	seq := 0
-	for i := 0; i < 8; i++ {
-		f.Push(p.Flit(i))
-		got := f.Pop()
+	i, seq := 5, 0
+	for k := 0; k < 8; k++ {
+		s.inPush(i, p.Flit(k))
+		got := s.inPop(i)
 		if got.Seq != seq {
 			t.Fatalf("wrap: got seq %d, want %d", got.Seq, seq)
 		}
@@ -43,26 +65,98 @@ func TestFIFOWrapAround(t *testing.T) {
 	}
 }
 
-func TestFIFOPanics(t *testing.T) {
-	f := newFIFO(1)
+func TestRingPopZeroesVacatedSlot(t *testing.T) {
+	cfg := Default()
+	s, _ := ringState(t, cfg)
+	p := packet.New(1, 0, 1, 2, 0)
+	s.inPush(0, p.Flit(0))
+	s.inPop(0)
+	for k := 0; k < s.depth; k++ {
+		if s.inFlits[k].Pkt != nil {
+			t.Fatal("vacated ring slot retains a stale packet pointer")
+		}
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	cfg := Default()
+	cfg.BufferDepth = 1
+	s, _ := ringState(t, cfg)
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("pop on empty did not panic")
 			}
 		}()
-		f.Pop()
+		s.inPop(0)
 	}()
 	p := packet.New(1, 0, 1, 2, 0)
-	f.Push(p.Flit(0))
+	s.inPush(0, p.Flit(0))
 	func() {
 		defer func() {
 			if recover() == nil {
 				t.Error("push on full did not panic")
 			}
 		}()
-		f.Push(p.Flit(1))
+		s.inPush(0, p.Flit(1))
 	}()
+}
+
+func TestPortVCInverse(t *testing.T) {
+	cfg := Default()
+	cfg.VCs = 3
+	cfg.InjectionVCs = 2
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	topo := topology.MustTorus(4, 4)
+	r := New(0, topo, cfg, routing.DOR(), routing.Random(), sim.NewRNG(1))
+	l := 0
+	for p := 0; p <= topo.Degree(); p++ {
+		for v := 0; v < r.InputVCCount(p); v++ {
+			gp, gv := r.portVCOf(l)
+			if gp != p || gv != v {
+				t.Fatalf("portVCOf(%d) = (%d,%d), want (%d,%d)", l, gp, gv, p, v)
+			}
+			if got := r.inIdx(p, v); got != r.in0+l {
+				t.Fatalf("inIdx(%d,%d) = %d, want %d", p, v, got, r.in0+l)
+			}
+			l++
+		}
+	}
+	if l != r.st.stride {
+		t.Fatalf("walked %d slots, stride is %d", l, r.st.stride)
+	}
+}
+
+func TestCheckStateCatchesCorruption(t *testing.T) {
+	cfg := Default()
+	topo := topology.MustTorus(4, 4)
+	if err := cfg.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	r := New(0, topo, cfg, routing.DOR(), routing.Random(), sim.NewRNG(1))
+	if err := r.CheckState(); err != nil {
+		t.Fatalf("fresh router fails CheckState: %v", err)
+	}
+	corruptions := []func(s *State){
+		func(s *State) { s.inHead[0] = int32(s.depth) },
+		func(s *State) { s.inLen[0] = int32(s.depth + 1) },
+		func(s *State) { s.inFlits[0] = packet.New(9, 0, 1, 2, 0).Flit(0) },
+		func(s *State) { s.inRoute[0] = int32(s.deg) },
+		func(s *State) { s.inOutVC[0] = int32(s.vcs) },
+		func(s *State) { s.outCredits[0] = int32(s.depth + 1) },
+		func(s *State) { s.outCredits[0] = -1 },
+		func(s *State) { s.flitCount[0] = 5 },
+		func(s *State) { s.cxInPort[0] = int32(s.deg + 1) },
+	}
+	for i, corrupt := range corruptions {
+		rc := New(0, topo, cfg, routing.DOR(), routing.Random(), sim.NewRNG(1))
+		corrupt(rc.st)
+		if err := rc.CheckState(); err == nil {
+			t.Errorf("corruption %d not caught by CheckState", i)
+		}
+	}
 }
 
 func TestConfigNormalizeDefaults(t *testing.T) {

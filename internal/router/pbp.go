@@ -14,52 +14,52 @@ package router
 //
 // The reception path is modeled separately from the crossbar (stageEjection
 // runs first in StageSwitch), matching routers whose delivery ports bypass
-// the switch.
+// the switch. Connection state lives in the shared SoA crossbar arrays
+// (cxInPort and friends); there is no separate reference twin of this scan —
+// both kernel paths share it, and its inner arbitration uses the optimized
+// arbitrateInput.
 func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
-	deg := r.topo.Degree()
+	s := r.st
+	deg := r.deg
 
 	// inputConn[p] reports whether input port p is already wired to some
 	// output (input ports are not multiplexed under this policy).
 	var inputConn [64]bool
 	for q := 0; q < deg; q++ {
-		if r.conn[q].inPort != connNone {
-			inputConn[r.conn[q].inPort] = true
+		if s.cxInPort[r.cxIdx(q)] != connNone {
+			inputConn[s.cxInPort[r.cxIdx(q)]] = true
 		}
 	}
 	var inputUsed [64]bool
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			if r.inputs[p][v].sent {
-				inputUsed[p] = true
-			}
+	for l := 0; l < s.stride; l++ {
+		if s.inSent[r.in0+l] {
+			p, _ := r.portVCOf(l)
+			inputUsed[p] = true
 		}
 	}
 
-	total := 0
-	for p := range r.inputs {
-		total += len(r.inputs[p])
-	}
+	total := s.stride
 
 	release := func(q int) {
-		c := &r.conn[q]
-		if c.inPort != connNone {
-			inputConn[c.inPort] = false
+		c := r.cxIdx(q)
+		if s.cxInPort[c] != connNone {
+			inputConn[s.cxInPort[c]] = false
 		}
-		c.inPort, c.inVC = connNone, 0
-		c.db = false
+		s.cxInPort[c], s.cxInVC[c] = connNone, 0
+		s.cxDB[c] = false
 		r.restoreConn(q)
-		if c.inPort != connNone {
-			inputConn[c.inPort] = true
+		if s.cxInPort[c] != connNone {
+			inputConn[s.cxInPort[c]] = true
 		}
 	}
 	preempt := func(q int) {
-		c := &r.conn[q]
-		if c.inPort == connNone {
+		c := r.cxIdx(q)
+		if s.cxInPort[c] == connNone {
 			return
 		}
-		c.saved, c.savedPort, c.savedVC = true, c.inPort, c.inVC
-		inputConn[c.inPort] = false
-		c.inPort, c.inVC = connNone, 0
+		s.cxSaved[c], s.cxSavedPort[c], s.cxSavedVC[c] = true, s.cxInPort[c], s.cxInVC[c]
+		inputConn[s.cxInPort[c]] = false
+		s.cxInPort[c], s.cxInVC[c] = connNone, 0
 		r.stats.Preemptions++
 	}
 
@@ -67,22 +67,23 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 		if r.neighbors[q] == nil {
 			continue
 		}
-		c := &r.conn[q]
+		c := r.cxIdx(q)
+		db0 := r.db0 // lane 0; the PBP policy runs with sequential recovery
 
-		dbUnitWants := len(r.dbs) > 0 && r.dbs[0].pkt != nil && r.dbs[0].route == q
+		dbUnitWants := s.lanes > 0 && s.dbPkt[db0] != nil && int(s.dbRoute[db0]) == q
 
 		// Release a finished DB-unit connection.
-		if c.db && !dbUnitWants {
+		if s.cxDB[c] && !dbUnitWants {
 			release(q)
 		}
 
 		// The central Deadlock Buffer preempts any edge connection.
 		if dbUnitWants {
-			if !c.db {
+			if !s.cxDB[c] {
 				preempt(q)
-				c.db = true
+				s.cxDB[c] = true
 			}
-			if !r.dbs[0].buf.Empty() && dbStageable(r.neighbors[q], 0, r.dbs[0].pkt) {
+			if s.dbLen[db0] != 0 && dbStageable(r.neighbors[q], 0, s.dbPkt[db0]) {
 				out = append(out, Transfer{From: r, FromDB: true, To: r.neighbors[q], OutPort: q, ToDB: true})
 				continue
 			}
@@ -98,17 +99,17 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 
 		// A recovered packet in an edge buffer (status line asserted)
 		// preempts as well: its flits must reach the neighbor's DB.
-		if rp, rv, ok := r.recoveredInputFor(q); ok && !(c.inPort == rp && c.inVC == rv) {
+		if rp, rv, ok := r.recoveredInputFor(q); ok && !(int(s.cxInPort[c]) == rp && int(s.cxInVC[c]) == rv) {
 			preempt(q)
-			c.inPort, c.inVC = rp, rv
+			s.cxInPort[c], s.cxInVC[c] = int32(rp), int32(rv)
 			inputConn[rp] = true
 		}
 
 		// Drop stale connections (packet drained or redirected by recovery
 		// through a different port) and reconnect any suspended input.
-		if c.inPort != connNone {
-			ivc := &r.inputs[c.inPort][c.inVC]
-			if ivc.pkt == nil || ivc.route != q {
+		if s.cxInPort[c] != connNone {
+			g := r.inIdx(int(s.cxInPort[c]), int(s.cxInVC[c]))
+			if s.inPkt[g] == nil || int(s.inRoute[g]) != q {
 				release(q)
 			}
 		}
@@ -116,24 +117,28 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 		// Establish a connection for a packet that routes to this output.
 		// Mid-packet establishment is allowed: it is how a connection
 		// dropped from the reconfiguration buffer heals.
-		if c.inPort == connNone {
-			off := r.swArbOffset[q]
+		if s.cxInPort[c] == connNone {
+			off := int(s.swArbOff[r.swIdx(q)])
 			for i := 0; i < total; i++ {
-				port, vc := r.nthInputVC((off + i) % total)
+				l := off + i
+				if l >= total {
+					l -= total
+				}
+				g := r.in0 + l
+				if int(s.inRoute[g]) != q || s.inLen[g] == 0 {
+					continue
+				}
+				port, vc := r.portVCOf(l)
 				if inputConn[port] || inputUsed[port] {
 					continue
 				}
-				ivc := &r.inputs[port][vc]
-				if ivc.route != q || ivc.buf.Empty() {
-					continue
-				}
-				c.inPort, c.inVC = port, vc
+				s.cxInPort[c], s.cxInVC[c] = int32(port), int32(vc)
 				inputConn[port] = true
-				r.swArbOffset[q] = (off + i + 1) % total
+				s.swArbOff[r.swIdx(q)] = int32((off + i + 1) % total)
 				break
 			}
 		}
-		if c.inPort == connNone {
+		if s.cxInPort[c] == connNone {
 			continue
 		}
 
@@ -141,24 +146,25 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 		// (empty buffer, no credits, downstream DB busy), lend the slot to
 		// any sendable traffic: a stalled connection must not starve flits
 		// the recovery lane transitively depends on (Assumption 1 again).
-		ivc := &r.inputs[c.inPort][c.inVC]
+		inPort, inVC := int(s.cxInPort[c]), int(s.cxInVC[c])
+		g := r.inIdx(inPort, inVC)
 		staged := false
-		if !ivc.buf.Empty() && !inputUsed[c.inPort] {
+		if s.inLen[g] != 0 && !inputUsed[inPort] {
 			var tr Transfer
-			if ivc.outVC == VCDeadlockBuffer {
-				if dbStageable(r.neighbors[q], ivc.dbLane, ivc.pkt) {
-					tr = Transfer{From: r, FromPort: c.inPort, FromVC: c.inVC, To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: ivc.dbLane}
+			if int(s.inOutVC[g]) == VCDeadlockBuffer {
+				if dbStageable(r.neighbors[q], int(s.inDBLane[g]), s.inPkt[g]) {
+					tr = Transfer{From: r, FromPort: inPort, FromVC: inVC, To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: int(s.inDBLane[g])}
 					staged = true
 				}
-			} else if r.outputs[q][ivc.outVC].credits > 0 {
-				tr = Transfer{From: r, FromPort: c.inPort, FromVC: c.inVC, To: r.neighbors[q], OutPort: q, ToVC: ivc.outVC}
+			} else if s.outCredits[r.outIdx(q, int(s.inOutVC[g]))] > 0 {
+				tr = Transfer{From: r, FromPort: inPort, FromVC: inVC, To: r.neighbors[q], OutPort: q, ToVC: int(s.inOutVC[g])}
 				staged = true
 			}
 			if staged {
-				fl := ivc.buf.Peek()
+				fl := s.inPeek(g)
 				out = append(out, tr)
-				inputUsed[c.inPort] = true
-				ivc.sent = true
+				inputUsed[inPort] = true
+				s.inSent[g] = true
 				if fl.IsTail() {
 					// Tail passes: tear down and reconnect any suspended
 					// input from the reconfiguration buffer.
@@ -176,12 +182,12 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 // recoveredInputFor returns an input VC holding flits of a recovered packet
 // that must leave through output q onto the neighbor's Deadlock Buffer.
 func (r *Router) recoveredInputFor(q int) (port, vc int, ok bool) {
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			if ivc.pkt != nil && ivc.route == q && ivc.outVC == VCDeadlockBuffer && !ivc.buf.Empty() {
-				return p, v, true
-			}
+	s := r.st
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		if s.inPkt[i] != nil && int(s.inRoute[i]) == q && int(s.inOutVC[i]) == VCDeadlockBuffer && s.inLen[i] != 0 {
+			p, v := r.portVCOf(l)
+			return p, v, true
 		}
 	}
 	return 0, 0, false
@@ -191,14 +197,15 @@ func (r *Router) recoveredInputFor(q int) (port, vc int, ok bool) {
 // if the suspended input still routes to q (it cannot have advanced while
 // disconnected, but recovery may have redirected it to the DB lane).
 func (r *Router) restoreConn(q int) {
-	c := &r.conn[q]
-	if !c.saved {
+	s := r.st
+	c := r.cxIdx(q)
+	if !s.cxSaved[c] {
 		return
 	}
-	c.saved = false
-	ivc := &r.inputs[c.savedPort][c.savedVC]
-	if ivc.pkt != nil && ivc.route == q {
-		c.inPort, c.inVC = c.savedPort, c.savedVC
+	s.cxSaved[c] = false
+	g := r.inIdx(int(s.cxSavedPort[c]), int(s.cxSavedVC[c]))
+	if s.inPkt[g] != nil && int(s.inRoute[g]) == q {
+		s.cxInPort[c], s.cxInVC[c] = s.cxSavedPort[c], s.cxSavedVC[c]
 	}
 }
 
@@ -206,10 +213,11 @@ func (r *Router) restoreConn(q int) {
 // connected input VC (or db), plus any suspended input held in the
 // reconfiguration buffer. Intended for tests and tracing.
 func (r *Router) Connection(q int) (inPort, inVC int, db bool, savedPort, savedVC int, saved bool) {
-	c := &r.conn[q]
-	savedPort, savedVC = c.savedPort, c.savedVC
-	if !c.saved {
+	s := r.st
+	c := r.cxIdx(q)
+	savedPort, savedVC = int(s.cxSavedPort[c]), int(s.cxSavedVC[c])
+	if !s.cxSaved[c] {
 		savedPort, savedVC = connNone, 0
 	}
-	return c.inPort, c.inVC, c.db, savedPort, savedVC, c.saved
+	return int(s.cxInPort[c]), int(s.cxInVC[c]), s.cxDB[c], savedPort, savedVC, s.cxSaved[c]
 }

@@ -22,14 +22,15 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 
 	// Edge packet A mid-flight: owns input VC (0,0), routed to q on VC 0.
 	a := packet.New(1, topo.NodeAt(topology.Coord{0, 0}), topo.NodeAt(topology.Coord{3, 0}), 8, 0)
-	ivc := &r.inputs[0][0]
-	ivc.pkt = a
-	ivc.route = q
-	ivc.outVC = 0
-	ivc.buf.Push(a.Flit(2))
-	ivc.buf.Push(a.Flit(3))
-	r.flitCount += 2
-	r.outputs[q][0].owner = a
+	s := r.st
+	i00 := r.inIdx(0, 0)
+	s.inPkt[i00] = a
+	s.inRoute[i00] = int32(q)
+	s.inOutVC[i00] = 0
+	s.inPush(i00, a.Flit(2))
+	s.inPush(i00, a.Flit(3))
+	s.flitCount[r.node] += 2
+	s.outOwner[r.outIdx(q, 0)] = a
 
 	step := func() []Transfer {
 		xfers := r.StageSwitch(nil)
@@ -55,10 +56,10 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 	// A recovered packet enters the Deadlock Buffer wanting the same output.
 	p := packet.New(2, topo.NodeAt(topology.Coord{0, 0}), topo.NodeAt(topology.Coord{2, 0}), 1, 0)
 	p.OnDB = true
-	r.dbs[0].pkt = p
-	r.dbs[0].route = q
-	r.dbs[0].buf.Push(p.Flit(0))
-	r.flitCount++
+	s.dbPkt[r.db0] = p
+	s.dbRoute[r.db0] = int32(q)
+	s.dbPush(r.db0, p.Flit(0))
+	s.flitCount[r.node]++
 
 	// Cycle 2: preemption — the DB connects, the edge connection is saved.
 	step()
@@ -80,7 +81,7 @@ func TestPBPPreemptionAndReconfiguration(t *testing.T) {
 	if nb.DBOccupancy() != 1 || nb.DBOwner() != p {
 		t.Fatal("DB flit did not reach the neighbor's Deadlock Buffer")
 	}
-	if r.dbs[0].pkt != nil {
+	if s.dbPkt[r.db0] != nil {
 		t.Fatal("local DB must release after the tail leaves")
 	}
 
@@ -109,25 +110,26 @@ func TestPBPLendsStalledConnection(t *testing.T) {
 
 	// Connected packet A is stalled: zero credits on its output VC.
 	a := packet.New(1, 0, 9, 8, 0)
-	ivcA := &r.inputs[0][0]
-	ivcA.pkt = a
-	ivcA.route = q
-	ivcA.outVC = 0
-	ivcA.buf.Push(a.Flit(2))
-	r.flitCount++
-	r.outputs[q][0].owner = a
-	r.outputs[q][0].credits = 0
+	s := r.st
+	iA := r.inIdx(0, 0)
+	s.inPkt[iA] = a
+	s.inRoute[iA] = int32(q)
+	s.inOutVC[iA] = 0
+	s.inPush(iA, a.Flit(2))
+	s.flitCount[r.node]++
+	s.outOwner[r.outIdx(q, 0)] = a
+	s.outCredits[r.outIdx(q, 0)] = 0
 
 	// Packet B on another input also routes to q, on VC 1 with credits.
 	bb := packet.New(2, 0, 9, 8, 0)
-	ivcB := &r.inputs[2][0]
-	ivcB.pkt = bb
-	ivcB.route = q
-	ivcB.outVC = 1
-	ivcB.buf.Push(bb.Flit(2))
-	ivcB.buf.Push(bb.Flit(3))
-	r.flitCount += 2
-	r.outputs[q][1].owner = bb
+	iB := r.inIdx(2, 0)
+	s.inPkt[iB] = bb
+	s.inRoute[iB] = int32(q)
+	s.inOutVC[iB] = 1
+	s.inPush(iB, bb.Flit(2))
+	s.inPush(iB, bb.Flit(3))
+	s.flitCount[r.node] += 2
+	s.outOwner[r.outIdx(q, 1)] = bb
 
 	// First stage: A establishes the connection (or B does — either way a
 	// flit must flow every cycle while somebody can send).

@@ -65,12 +65,12 @@ func (res *Reservations) ReserveDB(target *Router, lane int, p *packet.Packet) b
 	if !dbStageable(target, lane, p) {
 		return false
 	}
-	db := &target.dbs[lane]
+	i := target.dbIdx(lane)
 	k := dbKey{target, lane}
 	if res.m[k] >= 1 { // single write port
 		return false
 	}
-	if db.buf.Space()-res.m[k] < 1 {
+	if target.st.dbDepth-int(target.st.dbLen[i])-res.m[k] < 1 {
 		return false
 	}
 	res.m[k]++
@@ -86,11 +86,12 @@ func (res *Reservations) ReserveDB(target *Router, lane int, p *packet.Packet) b
 // concurrent sharded staging) and Reservations.Resolve settles the write
 // port afterwards in fixed router order.
 func dbStageable(target *Router, lane int, p *packet.Packet) bool {
-	if target == nil || lane < 0 || lane >= len(target.dbs) {
+	if target == nil || lane < 0 || lane >= target.st.lanes {
 		return false
 	}
-	db := &target.dbs[lane]
-	return (db.pkt == nil || db.pkt == p) && db.buf.Space() >= 1
+	i := target.dbIdx(lane)
+	owner := target.st.dbPkt[i]
+	return (owner == nil || owner == p) && target.st.dbDepth-int(target.st.dbLen[i]) >= 1
 }
 
 // Resolve arbitrates the staged Deadlock Buffer admissions of one cycle: it
@@ -110,71 +111,82 @@ func (res *Reservations) Resolve(xfers []Transfer) {
 		}
 		var p *packet.Packet
 		if t.FromDB {
-			p = t.From.dbs[t.FromDBLane].pkt
+			p = t.From.st.dbPkt[t.From.dbIdx(t.FromDBLane)]
 		} else {
-			p = t.From.inputs[t.FromPort][t.FromVC].pkt
+			p = t.From.st.inPkt[t.From.inIdx(t.FromPort, t.FromVC)]
 		}
 		if res.ReserveDB(t.To, t.ToDBLane, p) {
 			continue
 		}
 		t.Dropped = true
 		if !t.FromDB {
-			t.From.inputs[t.FromPort][t.FromVC].sent = false
+			t.From.st.inSent[t.From.inIdx(t.FromPort, t.FromVC)] = false
 		}
 	}
 }
 
 // --- Routing / virtual channel allocation ------------------------------------
 
-// StageRouting performs routing computation and output VC allocation for
-// every input VC whose head flit is an unrouted header. Grants take effect
-// immediately in router-local state (output VC ownership), so later headers
-// in the same cycle see them; the rotating start offset keeps this fair.
-func (r *Router) StageRouting() {
+// StageRoutingRef is the retained reference implementation of the routing /
+// VC-allocation phase: a faithful port of the pre-SoA per-router scan,
+// recomputing the slot total and mapping each rotating flat index to its
+// (port, vc) with the O(ports) nthInputVC walk before visiting the slot. It
+// makes exactly the decisions StageRouting makes, in the same order — the
+// differential conformance suite and the benchgate speed gates run the two
+// against each other. Select it network-wide with KernelConfig.ReferenceScan.
+func (r *Router) StageRoutingRef() {
 	total := 0
-	for p := range r.inputs {
-		total += len(r.inputs[p])
+	for p := 0; p <= r.deg; p++ {
+		total += r.st.inVCCount(r.deg, p)
 	}
-	off := r.vcArbOffset
-	r.vcArbOffset = (r.vcArbOffset + 1) % max(total, 1)
+	off := int(r.st.vcArbOff[r.node])
+	r.st.vcArbOff[r.node] = int32((off + 1) % max(total, 1))
 	for i := 0; i < total; i++ {
 		port, vc := r.nthInputVC((off + i) % total)
-		r.routeInputVC(port, vc)
+		r.routeSlot(r.inIdx(port, vc))
 	}
 }
 
-// nthInputVC maps a flat index to an (port, vc) pair.
+// nthInputVC maps a flat index to an (port, vc) pair by walking the ports —
+// the pre-SoA mapping, retained for the reference scan path (the optimized
+// scans use the O(1) portVCOf inverse instead).
 func (r *Router) nthInputVC(i int) (port, vc int) {
-	for p := range r.inputs {
-		if i < len(r.inputs[p]) {
+	for p := 0; p <= r.deg; p++ {
+		n := r.st.inVCCount(r.deg, p)
+		if i < n {
 			return p, i
 		}
-		i -= len(r.inputs[p])
+		i -= n
 	}
 	panic("router: input VC index out of range")
 }
 
-func (r *Router) routeInputVC(port, vc int) {
-	ivc := &r.inputs[port][vc]
-	if ivc.buf.Empty() || ivc.route != PortUnrouted {
+// routeSlot performs routing computation and output VC allocation for the
+// input VC at global slot i, if its head flit is an unrouted header. Grants
+// take effect immediately in router-local state (output VC ownership), so
+// later slots visited in the same cycle see them.
+func (r *Router) routeSlot(i int) {
+	s := r.st
+	if s.inLen[i] == 0 || s.inRoute[i] != PortUnrouted {
 		return
 	}
-	head := ivc.buf.Peek()
+	head := s.inPeek(i)
 	if !head.IsHeader() {
 		return
 	}
 	p := head.Pkt
 	if p.Dst == r.node {
-		ivc.route = PortEject
+		s.inRoute[i] = PortEject
 		return
 	}
 	if p.OnDB {
 		// A recovered packet re-routes onto the DB lane; this occurs only if
 		// the recovery grant was made before the header advanced (normally
 		// Recover sets the route directly).
-		ivc.dbLane = r.recoveryLane(p.Dst)
-		ivc.route = r.dbLaneRoute(ivc.dbLane, p.Dst)
-		ivc.outVC = VCDeadlockBuffer
+		lane := r.recoveryLane(p.Dst)
+		s.inDBLane[i] = int32(lane)
+		s.inRoute[i] = int32(r.dbLaneRoute(lane, p.Dst))
+		s.inOutVC[i] = VCDeadlockBuffer
 		return
 	}
 
@@ -203,9 +215,9 @@ func (r *Router) routeInputVC(port, vc int) {
 	if len(usable) > 1 {
 		choice = r.sel.Pick(r, usable, r.rng)
 	}
-	r.outputs[choice.Port][choice.VC].owner = p
-	ivc.route = choice.Port
-	ivc.outVC = choice.VC
+	s.outOwner[r.outIdx(choice.Port, choice.VC)] = p
+	s.inRoute[i] = int32(choice.Port)
+	s.inOutVC[i] = int32(choice.VC)
 	if choice.ToDeterministic {
 		p.OnDeterministic = true
 	}
@@ -213,136 +225,139 @@ func (r *Router) routeInputVC(port, vc int) {
 
 // --- Switch allocation ----------------------------------------------------------
 
-// StageSwitch arbitrates the crossbar and reception channels for this cycle
-// and appends the staged flit movements to out. Decisions use
-// start-of-cycle buffer/credit state; Commit applies them afterwards.
-//
-// StageSwitch mutates only this router's state and reads neighbors' Deadlock
-// Buffer state, which is start-of-cycle stable, so disjoint router shards may
-// stage concurrently. Deadlock-Buffer-bound transfers are staged
-// optimistically; the caller must run Reservations.Resolve over all staged
-// transfers (in fixed router order) before committing them.
-func (r *Router) StageSwitch(out []Transfer) []Transfer {
-	out = r.stageEjection(out)
+// StageSwitchRef is the retained reference implementation of switch
+// allocation, structured like the pre-SoA scan (per-call totals, nthInputVC
+// index walks). Byte-identical in effect to StageSwitch; see StageRoutingRef.
+func (r *Router) StageSwitchRef(out []Transfer) []Transfer {
+	out = r.stageEjectionRef(out)
 	if r.cfg.Alloc == PacketByPacket {
 		return r.stageSwitchPBP(out)
 	}
-	return r.stageSwitchFBF(out)
+	return r.stageSwitchFBFRef(out)
 }
 
-// stageEjection grants the reception channel(s): the Deadlock Buffers first
-// (the recovery lane must always drain), then input VCs round-robin.
-func (r *Router) stageEjection(out []Transfer) []Transfer {
+// stageEjectionRef grants the reception channel(s): the Deadlock Buffers
+// first (the recovery lane must always drain), then input VCs round-robin.
+func (r *Router) stageEjectionRef(out []Transfer) []Transfer {
+	s := r.st
 	budget := r.cfg.ReceptionChannels
 	if budget == 0 {
 		return out
 	}
-	for lane := range r.dbs {
+	for lane := 0; lane < s.lanes; lane++ {
 		if budget == 0 {
 			break
 		}
-		if !r.dbs[lane].buf.Empty() && r.dbs[lane].route == PortEject {
+		i := r.dbIdx(lane)
+		if s.dbLen[i] != 0 && int(s.dbRoute[i]) == PortEject {
 			out = append(out, Transfer{From: r, FromDB: true, FromDBLane: lane, Eject: true})
 			budget--
 		}
 	}
-	deg := r.topo.Degree()
 	total := 0
-	for p := range r.inputs {
-		total += len(r.inputs[p])
+	for p := 0; p <= r.deg; p++ {
+		total += s.inVCCount(r.deg, p)
 	}
-	off := r.swArbOffset[deg]
+	off := int(s.swArbOff[r.swIdx(r.deg)])
 	granted := false
 	for i := 0; i < total && budget > 0; i++ {
 		port, vc := r.nthInputVC((off + i) % total)
-		ivc := &r.inputs[port][vc]
-		if ivc.route != PortEject || ivc.buf.Empty() || ivc.sent {
+		g := r.inIdx(port, vc)
+		if int(s.inRoute[g]) != PortEject || s.inLen[g] == 0 || s.inSent[g] {
 			continue
 		}
 		out = append(out, Transfer{From: r, FromPort: port, FromVC: vc, Eject: true})
-		ivc.sent = true
+		s.inSent[g] = true
 		budget--
 		if !granted {
-			r.swArbOffset[deg] = (off + i + 1) % total
+			s.swArbOff[r.swIdx(r.deg)] = int32((off + i + 1) % total)
 			granted = true
 		}
 	}
 	return out
 }
 
-// stageSwitchFBF implements flit-by-flit crossbar allocation: a greedy
-// matching of input ports to output ports, one flit per port per cycle,
-// with the Deadlock Buffer as an extra crossbar input that has priority on
-// its output (so the recovery lane always progresses).
-func (r *Router) stageSwitchFBF(out []Transfer) []Transfer {
-	deg := r.topo.Degree()
+// stageSwitchFBFRef implements flit-by-flit crossbar allocation with the
+// reference index walks: a greedy matching of input ports to output ports,
+// one flit per port per cycle, with the Deadlock Buffer as an extra crossbar
+// input that has priority on its output (so the recovery lane always
+// progresses).
+func (r *Router) stageSwitchFBFRef(out []Transfer) []Transfer {
+	s := r.st
 	var inputUsed [64]bool // deg+1 <= 64 always (n <= 31 dims)
 	// Ejection grants above already consumed their input ports this cycle.
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			if r.inputs[p][v].sent {
+	for p := 0; p <= r.deg; p++ {
+		for v := 0; v < s.inVCCount(r.deg, p); v++ {
+			if s.inSent[r.inIdx(p, v)] {
 				inputUsed[p] = true
 			}
 		}
 	}
 	total := 0
-	for p := range r.inputs {
-		total += len(r.inputs[p])
+	for p := 0; p <= r.deg; p++ {
+		total += s.inVCCount(r.deg, p)
 	}
-	for q := 0; q < deg; q++ {
+	for q := 0; q < r.deg; q++ {
 		if r.neighbors[q] == nil {
 			continue
 		}
-		// Deadlock Buffer priority: each lane continues on the same lane
-		// index at the next router.
-		sent := false
-		for lane := range r.dbs {
-			db := &r.dbs[lane]
-			if !db.buf.Empty() && db.route == q && dbStageable(r.neighbors[q], lane, db.pkt) {
-				out = append(out, Transfer{From: r, FromDB: true, FromDBLane: lane,
-					To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: lane})
-				sent = true
-				break
-			}
-		}
-		if sent {
+		if r.stageDBOutput(q, &out) {
 			continue
 		}
-		out = r.arbitrateInput(q, total, &inputUsed, out)
+		out = r.arbitrateInputRef(q, total, &inputUsed, out)
 	}
 	return out
 }
 
-// arbitrateInput grants output port q to one sendable input VC this cycle,
-// round-robin starting from the port's rotating offset. It is the per-flit
-// output arbitration of the flit-by-flit policy and the lending fallback of
-// the packet-by-packet policy.
-func (r *Router) arbitrateInput(q, total int, inputUsed *[64]bool, out []Transfer) []Transfer {
-	off := r.swArbOffset[q]
+// stageDBOutput stages the Deadlock Buffer hop on output q if some lane
+// wants it: each lane continues on the same lane index at the next router.
+// Shared by the reference and optimized switch scans.
+func (r *Router) stageDBOutput(q int, out *[]Transfer) bool {
+	s := r.st
+	for lane := 0; lane < s.lanes; lane++ {
+		i := r.dbIdx(lane)
+		if s.dbLen[i] != 0 && int(s.dbRoute[i]) == q && dbStageable(r.neighbors[q], lane, s.dbPkt[i]) {
+			*out = append(*out, Transfer{From: r, FromDB: true, FromDBLane: lane,
+				To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: lane})
+			return true
+		}
+	}
+	return false
+}
+
+// arbitrateInputRef grants output port q to one sendable input VC this
+// cycle, round-robin from the port's rotating offset, using the reference
+// nthInputVC index walk. It is the per-flit output arbitration of the
+// flit-by-flit policy and the lending fallback of the packet-by-packet
+// policy (which always uses the optimized arbitrateInput — the PBP scan has
+// no reference twin).
+func (r *Router) arbitrateInputRef(q, total int, inputUsed *[64]bool, out []Transfer) []Transfer {
+	s := r.st
+	off := int(s.swArbOff[r.swIdx(q)])
 	for i := 0; i < total; i++ {
 		port, vc := r.nthInputVC((off + i) % total)
 		if inputUsed[port] {
 			continue
 		}
-		ivc := &r.inputs[port][vc]
-		if ivc.route != q || ivc.buf.Empty() {
+		g := r.inIdx(port, vc)
+		if int(s.inRoute[g]) != q || s.inLen[g] == 0 {
 			continue
 		}
-		if ivc.outVC == VCDeadlockBuffer {
-			if !dbStageable(r.neighbors[q], ivc.dbLane, ivc.pkt) {
+		if int(s.inOutVC[g]) == VCDeadlockBuffer {
+			if !dbStageable(r.neighbors[q], int(s.inDBLane[g]), s.inPkt[g]) {
 				continue
 			}
 			out = append(out, Transfer{From: r, FromPort: port, FromVC: vc,
-				To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: ivc.dbLane})
+				To: r.neighbors[q], OutPort: q, ToDB: true, ToDBLane: int(s.inDBLane[g])})
 		} else {
-			if r.outputs[q][ivc.outVC].credits <= 0 {
+			if s.outCredits[r.outIdx(q, int(s.inOutVC[g]))] <= 0 {
 				continue
 			}
-			out = append(out, Transfer{From: r, FromPort: port, FromVC: vc, To: r.neighbors[q], OutPort: q, ToVC: ivc.outVC})
+			out = append(out, Transfer{From: r, FromPort: port, FromVC: vc, To: r.neighbors[q], OutPort: q, ToVC: int(s.inOutVC[g])})
 		}
 		inputUsed[port] = true
-		ivc.sent = true
-		r.swArbOffset[q] = (off + i + 1) % total
+		s.inSent[g] = true
+		s.swArbOff[r.swIdx(q)] = int32((off + i + 1) % total)
 		break
 	}
 	return out
@@ -369,28 +384,28 @@ func Commit(t Transfer, sink Sink) {
 		sink.Deliver(fl, t.From.node)
 	case t.ToDB:
 		to := t.To
-		db := &to.dbs[t.ToDBLane]
-		db.buf.Push(fl)
-		to.flitCount++
+		i := to.dbIdx(t.ToDBLane)
+		to.st.dbPush(i, fl)
+		to.st.flitCount[to.node]++
 		if fl.IsHeader() {
-			db.pkt = fl.Pkt
-			db.route = to.dbLaneRoute(t.ToDBLane, fl.Pkt.Dst)
+			to.st.dbPkt[i] = fl.Pkt
+			to.st.dbRoute[i] = int32(to.dbLaneRoute(t.ToDBLane, fl.Pkt.Dst))
 			fl.Pkt.Hops++
 		}
 		t.From.stats.FlitsSwitched++
 	default:
 		to := t.To
 		inPort := topology.ReversePort(t.OutPort)
-		tivc := &to.inputs[inPort][t.ToVC]
-		tivc.buf.Push(fl)
-		to.flitCount++
+		ti := to.inIdx(inPort, t.ToVC)
+		to.st.inPush(ti, fl)
+		to.st.flitCount[to.node]++
 		if fl.IsHeader() {
-			tivc.pkt = fl.Pkt
+			to.st.inPkt[ti] = fl.Pkt
 		}
-		o := &t.From.outputs[t.OutPort][t.ToVC]
-		o.credits--
+		oi := t.From.outIdx(t.OutPort, t.ToVC)
+		t.From.st.outCredits[oi]--
 		if fl.IsTail() {
-			o.owner = nil
+			t.From.st.outOwner[oi] = nil
 		}
 		t.From.stats.FlitsSwitched++
 		if fl.IsHeader() {
@@ -403,30 +418,31 @@ func Commit(t Transfer, sink Sink) {
 // the upstream output VC and releasing wormhole state on tails.
 func (t Transfer) popSource() packet.Flit {
 	r := t.From
+	s := r.st
 	if t.FromDB {
-		db := &r.dbs[t.FromDBLane]
-		fl := db.buf.Pop()
-		r.flitCount--
+		i := r.dbIdx(t.FromDBLane)
+		fl := s.dbPop(i)
+		s.flitCount[r.node]--
 		r.stats.DBFlitsCarried++
 		if fl.IsTail() {
-			db.pkt = nil
-			db.route = PortUnrouted
+			s.dbPkt[i] = nil
+			s.dbRoute[i] = PortUnrouted
 		}
 		return fl
 	}
-	ivc := &r.inputs[t.FromPort][t.FromVC]
-	fl := ivc.buf.Pop()
-	r.flitCount--
-	if t.FromPort < r.topo.Degree() && r.neighbors[t.FromPort] != nil {
+	i := r.inIdx(t.FromPort, t.FromVC)
+	fl := s.inPop(i)
+	s.flitCount[r.node]--
+	if t.FromPort < r.deg && r.neighbors[t.FromPort] != nil {
 		up := r.neighbors[t.FromPort]
-		up.outputs[topology.ReversePort(t.FromPort)][t.FromVC].credits++
+		up.st.outCredits[up.outIdx(topology.ReversePort(t.FromPort), t.FromVC)]++
 	}
 	if fl.IsTail() {
-		ivc.pkt = nil
-		ivc.route = PortUnrouted
-		ivc.outVC = VCUnrouted
-		ivc.waiting = 0
-		ivc.presumed = false
+		s.inPkt[i] = nil
+		s.inRoute[i] = PortUnrouted
+		s.inOutVC[i] = VCUnrouted
+		s.inWaiting[i] = 0
+		s.inPresumed[i] = false
 	}
 	return fl
 }
@@ -452,98 +468,107 @@ func (r *Router) applyHeaderHop(p *packet.Packet, outPort int) {
 
 // --- Deadlock detection & recovery ---------------------------------------------
 
-// TickTimers advances T_elapsed for blocked headers (paper Section 3.1) and
-// clears the per-cycle sent markers. It returns the number of headers that
-// newly crossed T_out this cycle; each newly presumed packet is buffered for
-// the observer installed with SetOnTimeout (tracing, flight recorder), which
-// runs when the caller invokes FlushTimeouts — deferred so that TickTimers
-// touches only router-local state and disjoint router shards can tick
-// concurrently. As a side effect it refreshes the router's telemetry
-// instrumentation (BlockedHeaders, PresumedHeaders, per-VC blocked-cycle
-// counters) — the loop already touches every input VC, so the extra cost is
-// a few adds.
-func (r *Router) TickTimers() int {
+// TickTimersRef is the retained reference implementation of the deadlock
+// timer phase: the pre-SoA nested (port, vc) walk over the input VCs.
+// Byte-identical in effect to TickTimers; see StageRoutingRef.
+func (r *Router) TickTimersRef() int {
+	s := r.st
 	newly := 0
 	blocked, presumed := 0, 0
-	deg := r.topo.Degree()
+	tout := r.tickDecay()
+	for p := 0; p <= r.deg; p++ {
+		for v := 0; v < s.inVCCount(r.deg, p); v++ {
+			newly += r.tickSlot(r.inIdx(p, v), p, v, tout, &blocked, &presumed)
+		}
+	}
+	s.lastBlocked[r.node] = int32(blocked)
+	s.lastPresumed[r.node] = int32(presumed)
+	return newly
+}
+
+// tickDecay returns the timeout in force this cycle and, under
+// AdaptiveTimeout, applies the slow decay of the self-tuned T_out back
+// toward the configured base.
+func (r *Router) tickDecay() sim.Cycle {
 	tout := r.cfg.Timeout
 	if r.cfg.AdaptiveTimeout {
-		tout = r.effTout
-		// Slow decay back toward the configured base.
-		r.decayCount++
-		if r.decayCount >= 256 {
-			r.decayCount = 0
-			if r.effTout > r.cfg.Timeout {
-				r.effTout--
+		s := r.st
+		tout = s.effTout[r.node]
+		s.decayCount[r.node]++
+		if s.decayCount[r.node] >= 256 {
+			s.decayCount[r.node] = 0
+			if s.effTout[r.node] > r.cfg.Timeout {
+				s.effTout[r.node]--
 			}
 		}
 	}
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			if ivc.sent {
-				if ivc.presumed {
-					// The presumed-deadlocked header moved normally: a
-					// false detection. Under AdaptiveTimeout, back off.
-					r.stats.FalseDetections++
-					if r.cfg.AdaptiveTimeout {
-						r.effTout *= 2
-						if max8 := 8 * r.cfg.Timeout; r.effTout > max8 {
-							r.effTout = max8
-						}
-					}
-				}
-				ivc.sent = false
-				ivc.waiting = 0
-				ivc.presumed = false
-				continue
-			}
-			if ivc.buf.Empty() {
-				ivc.waiting = 0
-				ivc.presumed = false
-				continue
-			}
-			head := ivc.buf.Peek()
-			// Only headers not draining to the local reception channel and
-			// not already recovering are candidates for presumption.
-			if !head.IsHeader() || ivc.route == PortEject || head.Pkt.OnDB {
-				ivc.waiting = 0
-				ivc.presumed = false
-				continue
-			}
-			ivc.waiting++
-			blocked++
-			r.stats.BlockedCycles++
-			r.blockedByVC[v]++
-			if ivc.presumed {
-				presumed++
-			}
-			if tout > 0 && ivc.waiting > tout && !ivc.presumed {
-				// Headers still at the injection port hold no network
-				// channels, so they cannot be deadlock members; they are
-				// presumed only when STRANDED by link faults (the routing
-				// function offers no live port at all), in which case only
-				// the recovery lane can ever deliver them. The stranded
-				// check is throttled: faults are rare events.
-				if p == deg {
-					if (ivc.waiting-tout)%16 != 1 || !r.strandedHeader(head.Pkt) {
-						continue
-					}
-				}
-				ivc.presumed = true
-				presumed++
-				head.Pkt.TimedOut = true
-				r.stats.TimeoutEvents++
-				newly++
-				if r.onTimeout != nil {
-					r.pendingTimeouts = append(r.pendingTimeouts, head.Pkt)
+	return tout
+}
+
+// tickSlot advances the deadlock timer of the input VC at global slot i =
+// inIdx(p, v) and clears its per-cycle sent marker, returning 1 if its
+// header newly crossed T_out. Shared by the reference and optimized timer
+// scans.
+func (r *Router) tickSlot(i, p, v int, tout sim.Cycle, blocked, presumed *int) int {
+	s := r.st
+	if s.inSent[i] {
+		if s.inPresumed[i] {
+			// The presumed-deadlocked header moved normally: a false
+			// detection. Under AdaptiveTimeout, back off.
+			r.stats.FalseDetections++
+			if r.cfg.AdaptiveTimeout {
+				s.effTout[r.node] *= 2
+				if max8 := 8 * r.cfg.Timeout; s.effTout[r.node] > max8 {
+					s.effTout[r.node] = max8
 				}
 			}
 		}
+		s.inSent[i] = false
+		s.inWaiting[i] = 0
+		s.inPresumed[i] = false
+		return 0
 	}
-	r.lastBlocked = blocked
-	r.lastPresumed = presumed
-	return newly
+	if s.inLen[i] == 0 {
+		s.inWaiting[i] = 0
+		s.inPresumed[i] = false
+		return 0
+	}
+	head := s.inPeek(i)
+	// Only headers not draining to the local reception channel and not
+	// already recovering are candidates for presumption.
+	if !head.IsHeader() || int(s.inRoute[i]) == PortEject || head.Pkt.OnDB {
+		s.inWaiting[i] = 0
+		s.inPresumed[i] = false
+		return 0
+	}
+	s.inWaiting[i]++
+	*blocked++
+	r.stats.BlockedCycles++
+	r.blockedByVC[v]++
+	if s.inPresumed[i] {
+		*presumed++
+	}
+	if tout > 0 && s.inWaiting[i] > tout && !s.inPresumed[i] {
+		// Headers still at the injection port hold no network channels, so
+		// they cannot be deadlock members; they are presumed only when
+		// STRANDED by link faults (the routing function offers no live port
+		// at all), in which case only the recovery lane can ever deliver
+		// them. The stranded check is throttled: faults are rare events.
+		if p == r.deg {
+			if (s.inWaiting[i]-tout)%16 != 1 || !r.strandedHeader(head.Pkt) {
+				return 0
+			}
+		}
+		s.inPresumed[i] = true
+		*presumed++
+		head.Pkt.TimedOut = true
+		r.stats.TimeoutEvents++
+		if r.onTimeout != nil {
+			r.pendingTimeouts = append(r.pendingTimeouts, head.Pkt)
+		}
+		return 1
+	}
+	return 0
 }
 
 // FlushTimeouts invokes the SetOnTimeout observer for every header newly
@@ -584,14 +609,14 @@ func (r *Router) strandedHeader(p *packet.Packet) bool {
 // Token queries this to decide whether to stop here. Injection-port VCs
 // are included: they are presumed only when stranded by faults.
 func (r *Router) MostStarved() (port, vc int, ok bool) {
+	s := r.st
 	var best sim.Cycle = -1
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			if ivc.presumed && ivc.waiting > best {
-				best = ivc.waiting
-				port, vc, ok = p, v, true
-			}
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		if s.inPresumed[i] && s.inWaiting[i] > best {
+			best = s.inWaiting[i]
+			port, vc = r.portVCOf(l)
+			ok = true
 		}
 	}
 	return port, vc, ok
@@ -605,22 +630,24 @@ func (r *Router) MostStarved() (port, vc int, ok bool) {
 // Hamiltonian step of the packet's lane under concurrent recovery. It
 // returns the recovered packet.
 func (r *Router) Recover(port, vc int, now sim.Cycle) *packet.Packet {
-	ivc := &r.inputs[port][vc]
-	p := ivc.pkt
-	if p == nil || ivc.buf.Empty() || !ivc.buf.Peek().IsHeader() {
+	s := r.st
+	i := r.inIdx(port, vc)
+	p := s.inPkt[i]
+	if p == nil || s.inLen[i] == 0 || !s.inPeek(i).IsHeader() {
 		panic("router: Recover on a VC without a blocked header")
 	}
-	if ivc.route >= 0 && ivc.outVC >= 0 {
-		r.outputs[ivc.route][ivc.outVC].owner = nil
+	if s.inRoute[i] >= 0 && s.inOutVC[i] >= 0 {
+		s.outOwner[r.outIdx(int(s.inRoute[i]), int(s.inOutVC[i]))] = nil
 	}
 	p.OnDB = true
 	p.SeizedToken = r.cfg.Recovery == RecoverySequential
 	p.RecoveredAt = now
-	ivc.dbLane = r.recoveryLane(p.Dst)
-	ivc.route = r.dbLaneRoute(ivc.dbLane, p.Dst)
-	ivc.outVC = VCDeadlockBuffer
-	ivc.waiting = 0
-	ivc.presumed = false
+	lane := r.recoveryLane(p.Dst)
+	s.inDBLane[i] = int32(lane)
+	s.inRoute[i] = int32(r.dbLaneRoute(lane, p.Dst))
+	s.inOutVC[i] = VCDeadlockBuffer
+	s.inWaiting[i] = 0
+	s.inPresumed[i] = false
 	r.stats.Recoveries++
 	return p
 }
@@ -631,12 +658,13 @@ func (r *Router) Recover(port, vc int, now sim.Cycle) *packet.Packet {
 // scratch slice to keep the call allocation-free); the extended slice is
 // returned so callers can trace and track per-packet recoveries.
 func (r *Router) RecoverPresumed(now sim.Cycle, out []*packet.Packet) []*packet.Packet {
-	deg := r.topo.Degree()
-	for p := 0; p < deg; p++ {
-		for v := range r.inputs[p] {
-			if r.inputs[p][v].presumed {
-				out = append(out, r.Recover(p, v, now))
-			}
+	s := r.st
+	// Network ports only — exactly the first deg*vcs slots of the port-major
+	// layout (injection slots sit at the end of the router's range).
+	for l := 0; l < r.deg*s.vcs; l++ {
+		if s.inPresumed[r.in0+l] {
+			p, v := r.portVCOf(l)
+			out = append(out, r.Recover(p, v, now))
 		}
 	}
 	return out
@@ -694,12 +722,11 @@ func max(a, b int) int {
 // deadlocked at this router (abort-retry recovery collects its victims
 // through it).
 func (r *Router) PresumedPackets(out []*packet.Packet) []*packet.Packet {
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			if ivc.presumed && ivc.pkt != nil {
-				out = append(out, ivc.pkt)
-			}
+	s := r.st
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		if s.inPresumed[i] && s.inPkt[i] != nil {
+			out = append(out, s.inPkt[i])
 		}
 	}
 	return out
@@ -712,36 +739,36 @@ func (r *Router) PresumedPackets(out []*packet.Packet) []*packet.Packet {
 // connections. It returns the number of flits purged. Abort-and-retry
 // recovery calls it on every router to kill a packet.
 func (r *Router) PurgePacket(p *packet.Packet) int {
+	s := r.st
 	purged := 0
-	deg := r.topo.Degree()
-	for port := range r.inputs {
-		for v := range r.inputs[port] {
-			ivc := &r.inputs[port][v]
-			if ivc.pkt != p {
-				continue
-			}
-			n := ivc.buf.Len()
-			for i := 0; i < n; i++ {
-				ivc.buf.Pop()
-			}
-			r.flitCount -= n
-			purged += n
-			if n > 0 && port < deg && r.neighbors[port] != nil {
-				up := r.neighbors[port]
-				up.outputs[topology.ReversePort(port)][v].credits += n
-			}
-			ivc.pkt = nil
-			ivc.route = PortUnrouted
-			ivc.outVC = VCUnrouted
-			ivc.waiting = 0
-			ivc.presumed = false
-			ivc.sent = false
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		if s.inPkt[i] != p {
+			continue
 		}
+		port, v := r.portVCOf(l)
+		n := int(s.inLen[i])
+		for k := 0; k < n; k++ {
+			s.inPop(i)
+		}
+		s.flitCount[r.node] -= int32(n)
+		purged += n
+		if n > 0 && port < r.deg && r.neighbors[port] != nil {
+			up := r.neighbors[port]
+			up.st.outCredits[up.outIdx(topology.ReversePort(port), v)] += int32(n)
+		}
+		s.inPkt[i] = nil
+		s.inRoute[i] = PortUnrouted
+		s.inOutVC[i] = VCUnrouted
+		s.inWaiting[i] = 0
+		s.inPresumed[i] = false
+		s.inSent[i] = false
 	}
-	for q := 0; q < deg; q++ {
-		for v := range r.outputs[q] {
-			if r.outputs[q][v].owner == p {
-				r.outputs[q][v].owner = nil
+	for q := 0; q < r.deg; q++ {
+		for v := 0; v < s.vcs; v++ {
+			i := r.outIdx(q, v)
+			if s.outOwner[i] == p {
+				s.outOwner[i] = nil
 			}
 		}
 	}

@@ -87,14 +87,14 @@ func TestRecoverPresumedAndHamDelivery(t *testing.T) {
 		t.Fatal("no DOR port")
 	}
 	for v := 0; v < cfg.VCs; v++ {
-		r.outputs[port][v].owner = blocker
+		r.st.outOwner[r.outIdx(port, v)] = blocker
 	}
 	p := packet.New(1, src, dst, 2, 0)
-	ivc := &r.inputs[0][0]
-	ivc.pkt = p
-	ivc.buf.Push(p.Flit(0))
-	ivc.buf.Push(p.Flit(1))
-	r.flitCount += 2
+	i00 := r.inIdx(0, 0)
+	r.st.inPkt[i00] = p
+	r.st.inPush(i00, p.Flit(0))
+	r.st.inPush(i00, p.Flit(1))
+	r.st.flitCount[r.node] += 2
 	for i := 0; i < int(cfg.Timeout)+2; i++ {
 		b.step()
 	}
@@ -130,22 +130,21 @@ func TestPurgePacket(t *testing.T) {
 	// Packet spans two routers: body at r0 (input port 0 vc 0, granted
 	// toward q), header at r1 on the matching input VC.
 	p := packet.New(1, 0, 9, 6, 0)
-	ivc0 := &r0.inputs[0][0]
-	ivc0.pkt = p
-	ivc0.route = q
-	ivc0.outVC = 0
-	ivc0.buf.Push(p.Flit(1))
-	ivc0.buf.Push(p.Flit(2))
-	r0.flitCount += 2
-	r0.outputs[q][0].owner = p
-	r0.outputs[q][0].credits = 0 // both slots of r1's buffer hold p's flits... one here:
+	i0 := r0.inIdx(0, 0)
+	r0.st.inPkt[i0] = p
+	r0.st.inRoute[i0] = int32(q)
+	r0.st.inOutVC[i0] = 0
+	r0.st.inPush(i0, p.Flit(1))
+	r0.st.inPush(i0, p.Flit(2))
+	r0.st.flitCount[r0.node] += 2
+	r0.st.outOwner[r0.outIdx(q, 0)] = p
 	rev := topology.ReversePort(q)
-	ivc1 := &r1.inputs[rev][0]
-	ivc1.pkt = p
-	ivc1.route = PortUnrouted
-	ivc1.buf.Push(p.Flit(0))
-	r1.flitCount++
-	r0.outputs[q][0].credits = cfg.BufferDepth - 1
+	i1 := r1.inIdx(rev, 0)
+	r1.st.inPkt[i1] = p
+	r1.st.inRoute[i1] = PortUnrouted
+	r1.st.inPush(i1, p.Flit(0))
+	r1.st.flitCount[r1.node]++
+	r0.st.outCredits[r0.outIdx(q, 0)] = int32(cfg.BufferDepth - 1)
 
 	purged := r0.PurgePacket(p) + r1.PurgePacket(p)
 	if purged != 3 {

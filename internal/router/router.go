@@ -10,6 +10,12 @@
 // timer update) and owns the recovery Token. All router methods assume
 // single-threaded access in a fixed order, which makes simulations
 // deterministic for a given seed.
+//
+// The hot per-cycle state — VC buffers, credits, deadlock timers, crossbar
+// connections — lives in flat struct-of-arrays buffers shared by every router
+// of one network (see State); a Router is a view over its slice of those
+// buffers. The per-cycle scan phases therefore sweep contiguous memory, while
+// the router API, digests and snapshots are unchanged and layout-invariant.
 package router
 
 import (
@@ -21,7 +27,7 @@ import (
 	"repro/internal/topology"
 )
 
-// Route sentinels stored in inputVC.route.
+// Route sentinels stored in an input VC's route slot.
 const (
 	// PortUnrouted marks an input VC whose head header has not yet been
 	// assigned an output.
@@ -30,7 +36,7 @@ const (
 	PortEject = -2
 )
 
-// Output VC sentinels stored in inputVC.outVC.
+// Output VC sentinels stored in an input VC's outVC slot.
 const (
 	// VCUnrouted marks no output VC granted.
 	VCUnrouted = -1
@@ -40,54 +46,11 @@ const (
 	VCDeadlockBuffer = -2
 )
 
-// inputVC is the state of one virtual-channel input buffer. A wormhole
-// packet owns the VC from its header's arrival until its tail departs.
-type inputVC struct {
-	buf    fifo
-	pkt    *packet.Packet // owner; nil when idle
-	route  int            // granted output port, PortEject, or PortUnrouted
-	outVC  int            // granted output VC, VCDeadlockBuffer, or VCUnrouted
-	dbLane int            // recovery lane index when outVC == VCDeadlockBuffer
-
-	// waiting is T_elapsed: consecutive cycles the header at the head of
-	// this buffer has been unable to leave.
-	waiting  sim.Cycle
-	presumed bool // T_elapsed exceeded T_out (presumed deadlocked)
-	sent     bool // a flit left this cycle (cleared by TickTimers)
-}
-
-// outputVC is the sender-side state of one downstream virtual channel.
-type outputVC struct {
-	owner   *packet.Packet // packet holding the VC; nil when released
-	credits int            // free flit slots in the downstream input buffer
-}
-
-// dbUnit is a central Deadlock Buffer: a single flit buffer reachable from
-// every neighbor, forming the deadlock-free lane during recovery. Sequential
-// recovery uses one unit per router; concurrent recovery uses two
-// direction-partitioned units (the "up" and "down" Hamiltonian lanes).
-type dbUnit struct {
-	buf   fifo
-	pkt   *packet.Packet // packet currently threading this DB
-	route int            // output decided when the header arrived
-}
-
 // Deadlock Buffer lane indices for concurrent recovery.
 const (
 	laneUp   = 0 // toward increasing Hamiltonian labels
 	laneDown = 1 // toward decreasing Hamiltonian labels
 )
-
-// xbarConn tracks packet-by-packet crossbar state for one output port.
-type xbarConn struct {
-	inPort, inVC int  // connected input VC; inPort == connNone when free
-	db           bool // connected to the Deadlock Buffer
-	// reconfiguration buffer: the single input connection displaced by a
-	// Deadlock Buffer preemption (paper Section 3.3).
-	saved     bool
-	savedPort int
-	savedVC   int
-}
 
 const connNone = -1
 
@@ -104,7 +67,9 @@ type Stats struct {
 	BlockedCycles   int64 // header-cycles spent blocked (sum of T_elapsed ticks)
 }
 
-// Router is one network node's switch.
+// Router is one network node's switch: a view over the node's slice of the
+// network-wide struct-of-arrays State, plus the cold per-router state (stats,
+// wiring, RNG, scratch) that no per-cycle scan touches.
 type Router struct {
 	node topology.Node
 	topo topology.Topology
@@ -113,11 +78,14 @@ type Router struct {
 	sel  routing.Selection
 	rng  *sim.RNG
 
-	// inputs[p][v]: p in [0, degree) are network ports, p == degree is the
-	// injection port (with cfg.InjectionVCs VCs).
-	inputs  [][]inputVC
-	outputs [][]outputVC // network ports only
-	dbs     []dbUnit     // 0 (recovery off), 1 (sequential) or 2 (concurrent)
+	// Shared struct-of-arrays state and this router's base offsets into it.
+	st   *State
+	deg  int // topo.Degree(), cached for index math
+	in0  int // first input VC slot:       node * st.stride
+	out0 int // first output VC slot:      node * st.outStr
+	db0  int // first Deadlock Buffer slot: node * st.lanes
+	cx0  int // first crossbar slot:        node * st.deg
+	sw0  int // first switch-arb slot:      node * (st.deg + 1)
 
 	neighbors []*Router // per network port; nil where no link exists
 
@@ -134,31 +102,13 @@ type Router struct {
 	// with a fault-aware next-hop table (see SetDBRouteTable).
 	dbTable []int32
 
-	// Adaptive time-out state (Config.AdaptiveTimeout).
-	effTout    sim.Cycle
-	decayCount int
-
-	conn []xbarConn // packet-by-packet state, one per network output port
-
-	vcArbOffset int   // rotating priority for VC allocation
-	swArbOffset []int // rotating priority per output port (+1 for ejection)
-
 	candBuf []routing.Candidate
 	stats   Stats
 
-	// flitCount mirrors the total number of flits buffered in input VCs and
-	// Deadlock Buffer lanes, maintained at every push/pop so Quiescent and
-	// the network's active-set drain check are O(1). Not part of the digest
-	// (it is derivable); CheckInvariants cross-checks it against a full walk.
-	flitCount int
-
 	// Telemetry instrumentation, maintained by TickTimers (which already
 	// visits every input VC each cycle, so this costs almost nothing):
-	// cumulative blocked cycles keyed by VC index, and the most recent
-	// cycle's blocked/presumed header counts.
-	blockedByVC  []int64
-	lastBlocked  int
-	lastPresumed int
+	// cumulative blocked cycles keyed by VC index.
+	blockedByVC []int64
 
 	// onTimeout, when set via SetOnTimeout, observes every newly presumed
 	// header (tracing, telemetry flight recorder). TickTimers buffers the
@@ -167,9 +117,12 @@ type Router struct {
 	pendingTimeouts []*packet.Packet
 }
 
-// New constructs a router for node. The caller wires neighbors with Connect
-// before the first cycle. cfg must already be normalized.
-func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG) *Router {
+// NewWithState constructs a router for node as a view over the shared
+// struct-of-arrays state st (built by NewState for the same topo and cfg).
+// The caller wires neighbors with Connect before the first cycle. cfg must
+// already be normalized. The network constructs one State and all of its
+// routers over it, so the per-cycle scan phases sweep contiguous memory.
+func NewWithState(node topology.Node, topo topology.Topology, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG, st *State) *Router {
 	deg := topo.Degree()
 	r := &Router{
 		node:        node,
@@ -178,37 +131,18 @@ func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Alg
 		alg:         alg,
 		sel:         sel,
 		rng:         rng,
-		inputs:      make([][]inputVC, deg+1),
-		outputs:     make([][]outputVC, deg),
+		st:          st,
+		deg:         deg,
+		in0:         int(node) * st.stride,
+		out0:        int(node) * st.outStr,
+		db0:         int(node) * st.lanes,
+		cx0:         int(node) * deg,
+		sw0:         int(node) * (deg + 1),
 		neighbors:   make([]*Router, deg),
-		conn:        make([]xbarConn, deg),
-		swArbOffset: make([]int, deg+1),
 		candBuf:     make([]routing.Candidate, 0, 4*deg*cfg.VCs),
+		hamNextPort: -1,
+		hamPrevPort: -1,
 	}
-	for p := 0; p < deg; p++ {
-		r.inputs[p] = make([]inputVC, cfg.VCs)
-		r.outputs[p] = make([]outputVC, cfg.VCs)
-		for v := 0; v < cfg.VCs; v++ {
-			r.inputs[p][v] = inputVC{buf: newFIFO(cfg.BufferDepth), route: PortUnrouted, outVC: VCUnrouted}
-			r.outputs[p][v] = outputVC{credits: cfg.BufferDepth}
-		}
-		r.conn[p] = xbarConn{inPort: connNone}
-	}
-	r.inputs[deg] = make([]inputVC, cfg.InjectionVCs)
-	for v := range r.inputs[deg] {
-		r.inputs[deg][v] = inputVC{buf: newFIFO(cfg.BufferDepth), route: PortUnrouted, outVC: VCUnrouted}
-	}
-	if cfg.DeadlockBufferDepth > 0 {
-		lanes := 1
-		if cfg.Recovery == RecoveryConcurrent {
-			lanes = 2
-		}
-		for i := 0; i < lanes; i++ {
-			r.dbs = append(r.dbs, dbUnit{buf: newFIFO(cfg.DeadlockBufferDepth), route: PortUnrouted})
-		}
-	}
-	r.hamNextPort, r.hamPrevPort = -1, -1
-	r.effTout = cfg.Timeout
 	maxVCs := cfg.VCs
 	if cfg.InjectionVCs > maxVCs {
 		maxVCs = cfg.InjectionVCs
@@ -217,9 +151,16 @@ func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Alg
 	return r
 }
 
+// New constructs a standalone router for node with a freshly allocated State
+// sized for topo. Tests and single-router tools use it; a network shares one
+// State across all routers via NewState + NewWithState instead.
+func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG) *Router {
+	return NewWithState(node, topo, cfg, alg, sel, rng, NewState(topo, cfg))
+}
+
 // EffectiveTimeout returns the router's current deadlock time-out: the
 // configured T_out, or the self-tuned value under AdaptiveTimeout.
-func (r *Router) EffectiveTimeout() sim.Cycle { return r.effTout }
+func (r *Router) EffectiveTimeout() sim.Cycle { return r.st.effTout[r.node] }
 
 // ConnectHamiltonian wires the router into the recovery Hamiltonian path:
 // the shared node-to-label table and the output ports toward the path's
@@ -244,7 +185,7 @@ func (r *Router) Connect(port int, neighbor *Router) {
 func (r *Router) Neighbor(port int) *Router { return r.neighbors[port] }
 
 // InjectionPort returns the input port index of the injection channel.
-func (r *Router) InjectionPort() int { return r.topo.Degree() }
+func (r *Router) InjectionPort() int { return r.deg }
 
 // Algorithm returns the routing algorithm this router runs; analysis tools
 // use it to recompute a blocked header's candidate set.
@@ -263,11 +204,11 @@ func (r *Router) SetOnTimeout(fn func(*packet.Packet)) { r.onTimeout = fn }
 
 // BlockedHeaders returns how many headers failed to advance during the most
 // recent TickTimers pass (a live congestion gauge).
-func (r *Router) BlockedHeaders() int { return r.lastBlocked }
+func (r *Router) BlockedHeaders() int { return int(r.st.lastBlocked[r.node]) }
 
 // PresumedHeaders returns how many headers were in the presumed-deadlocked
 // state during the most recent TickTimers pass.
-func (r *Router) PresumedHeaders() int { return r.lastPresumed }
+func (r *Router) PresumedHeaders() int { return int(r.st.lastPresumed[r.node]) }
 
 // BlockedCyclesVC returns the cumulative header-blocked cycles charged to
 // the given VC index (summed over all input ports).
@@ -298,23 +239,23 @@ func (r *Router) LinkExists(port int) bool {
 // packet owns it and the downstream buffer has fully drained (atomic VC
 // reallocation, so packets never interleave inside one edge buffer).
 func (r *Router) OutputVCFree(port, vc int) bool {
-	o := &r.outputs[port][vc]
-	return o.owner == nil && o.credits == r.cfg.BufferDepth
+	i := r.outIdx(port, vc)
+	return r.st.outOwner[i] == nil && int(r.st.outCredits[i]) == r.cfg.BufferDepth
 }
 
 // OccupantDimReversals implements routing.View.
 func (r *Router) OccupantDimReversals(port, vc int) (int, bool) {
-	o := &r.outputs[port][vc]
-	if o.owner == nil {
+	o := r.st.outOwner[r.outIdx(port, vc)]
+	if o == nil {
 		return 0, false
 	}
-	return o.owner.DimReversals, true
+	return o.DimReversals, true
 }
 
 // FreeVCs implements routing.View.
 func (r *Router) FreeVCs(port int) int {
 	n := 0
-	for vc := range r.outputs[port] {
+	for vc := 0; vc < r.cfg.VCs; vc++ {
 		if r.OutputVCFree(port, vc) {
 			n++
 		}
@@ -331,25 +272,26 @@ var _ routing.View = (*Router)(nil)
 // flit's packet must already own an injection VC with buffer space, or — for
 // a header — some injection VC must be idle.
 func (r *Router) InjectFlit(fl packet.Flit, now sim.Cycle) bool {
-	port := r.InjectionPort()
+	s := r.st
+	base := r.inIdx(r.deg, 0)
 	if fl.IsHeader() {
-		for v := range r.inputs[port] {
-			ivc := &r.inputs[port][v]
-			if ivc.pkt == nil && ivc.buf.Empty() {
-				ivc.pkt = fl.Pkt
-				ivc.buf.Push(fl)
-				r.flitCount++
+		for v := 0; v < s.injVCs; v++ {
+			i := base + v
+			if s.inPkt[i] == nil && s.inLen[i] == 0 {
+				s.inPkt[i] = fl.Pkt
+				s.inPush(i, fl)
+				s.flitCount[r.node]++
 				fl.Pkt.InjectedAt = now
 				return true
 			}
 		}
 		return false
 	}
-	for v := range r.inputs[port] {
-		ivc := &r.inputs[port][v]
-		if ivc.pkt == fl.Pkt && !ivc.buf.Full() {
-			ivc.buf.Push(fl)
-			r.flitCount++
+	for v := 0; v < s.injVCs; v++ {
+		i := base + v
+		if s.inPkt[i] == fl.Pkt && int(s.inLen[i]) < s.depth {
+			s.inPush(i, fl)
+			s.flitCount[r.node]++
 			return true
 		}
 	}
@@ -359,42 +301,52 @@ func (r *Router) InjectFlit(fl packet.Flit, now sim.Cycle) bool {
 // --- Introspection helpers (tests, wait-for-graph analysis) ------------------
 
 // InputOwner returns the packet owning input VC (port, vc), if any.
-func (r *Router) InputOwner(port, vc int) *packet.Packet { return r.inputs[port][vc].pkt }
+func (r *Router) InputOwner(port, vc int) *packet.Packet { return r.st.inPkt[r.inIdx(port, vc)] }
 
 // InputRoute returns the granted (route, outVC) of input VC (port, vc).
 func (r *Router) InputRoute(port, vc int) (route, outVC int) {
-	ivc := &r.inputs[port][vc]
-	return ivc.route, ivc.outVC
+	i := r.inIdx(port, vc)
+	return int(r.st.inRoute[i]), int(r.st.inOutVC[i])
+}
+
+// InputTimer returns the deadlock-timer state of input VC (port, vc): the
+// header's T_elapsed, whether it is presumed deadlocked, and whether a flit
+// left this cycle. The differential conformance harness uses it to name the
+// first divergent field between two lockstepped kernels.
+func (r *Router) InputTimer(port, vc int) (waiting sim.Cycle, presumed, sent bool) {
+	i := r.inIdx(port, vc)
+	return r.st.inWaiting[i], r.st.inPresumed[i], r.st.inSent[i]
 }
 
 // InputOccupancy returns the number of buffered flits in input VC (port, vc).
-func (r *Router) InputOccupancy(port, vc int) int { return r.inputs[port][vc].buf.Len() }
+func (r *Router) InputOccupancy(port, vc int) int { return int(r.st.inLen[r.inIdx(port, vc)]) }
 
 // InputHead returns the head flit of input VC (port, vc); ok is false when
 // the buffer is empty.
 func (r *Router) InputHead(port, vc int) (packet.Flit, bool) {
-	if r.inputs[port][vc].buf.Empty() {
+	i := r.inIdx(port, vc)
+	if r.st.inLen[i] == 0 {
 		return packet.Flit{}, false
 	}
-	return r.inputs[port][vc].buf.Peek(), true
+	return r.st.inPeek(i), true
 }
 
 // OutputOwner returns the packet holding output VC (port, vc), if any.
-func (r *Router) OutputOwner(port, vc int) *packet.Packet { return r.outputs[port][vc].owner }
+func (r *Router) OutputOwner(port, vc int) *packet.Packet { return r.st.outOwner[r.outIdx(port, vc)] }
 
 // Credits returns the credit count of output VC (port, vc).
-func (r *Router) Credits(port, vc int) int { return r.outputs[port][vc].credits }
+func (r *Router) Credits(port, vc int) int { return int(r.st.outCredits[r.outIdx(port, vc)]) }
 
 // DBLanes returns the number of Deadlock Buffer units (0 with recovery
 // disabled, 1 for sequential recovery, 2 for concurrent recovery).
-func (r *Router) DBLanes() int { return len(r.dbs) }
+func (r *Router) DBLanes() int { return r.st.lanes }
 
 // DBOccupancy returns the total number of flits across all Deadlock
 // Buffer lanes.
 func (r *Router) DBOccupancy() int {
 	n := 0
-	for i := range r.dbs {
-		n += r.dbs[i].buf.Len()
+	for lane := 0; lane < r.st.lanes; lane++ {
+		n += int(r.st.dbLen[r.dbIdx(lane)])
 	}
 	return n
 }
@@ -402,24 +354,24 @@ func (r *Router) DBOccupancy() int {
 // DBOwner returns the packet currently threading the (first) Deadlock
 // Buffer lane; use DBLaneOwner for a specific lane.
 func (r *Router) DBOwner() *packet.Packet {
-	if len(r.dbs) == 0 {
+	if r.st.lanes == 0 {
 		return nil
 	}
-	return r.dbs[0].pkt
+	return r.st.dbPkt[r.db0]
 }
 
 // DBLaneOwner returns the packet threading the given Deadlock Buffer lane.
-func (r *Router) DBLaneOwner(lane int) *packet.Packet { return r.dbs[lane].pkt }
+func (r *Router) DBLaneOwner(lane int) *packet.Packet { return r.st.dbPkt[r.dbIdx(lane)] }
 
 // InputPorts returns the number of input ports including injection.
-func (r *Router) InputPorts() int { return len(r.inputs) }
+func (r *Router) InputPorts() int { return r.deg + 1 }
 
 // InputVCCount returns the number of VCs on the given input port.
-func (r *Router) InputVCCount(port int) int { return len(r.inputs[port]) }
+func (r *Router) InputVCCount(port int) int { return r.st.inVCCount(r.deg, port) }
 
 // Quiescent reports whether the router holds no flits at all. O(1): backed
 // by the maintained flit counter rather than a buffer walk.
-func (r *Router) Quiescent() bool { return r.flitCount == 0 }
+func (r *Router) Quiescent() bool { return r.st.flitCount[r.node] == 0 }
 
 // String identifies the router by coordinate and algorithm for logs.
 func (r *Router) String() string {
@@ -444,23 +396,23 @@ func (r *Router) LinkBusy(port int) bool {
 	if r.neighbors[port] == nil {
 		return false
 	}
-	for v := range r.outputs[port] {
-		o := &r.outputs[port][v]
-		if o.owner != nil || o.credits != r.cfg.BufferDepth {
+	s := r.st
+	for v := 0; v < s.vcs; v++ {
+		i := r.outIdx(port, v)
+		if s.outOwner[i] != nil || int(s.outCredits[i]) != r.cfg.BufferDepth {
 			return true
 		}
 	}
-	for lane := range r.dbs {
-		if r.dbs[lane].pkt != nil && r.dbs[lane].route == port {
+	for lane := 0; lane < s.lanes; lane++ {
+		i := r.dbIdx(lane)
+		if s.dbPkt[i] != nil && int(s.dbRoute[i]) == port {
 			return true
 		}
 	}
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			if ivc.pkt != nil && ivc.route == port {
-				return true
-			}
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		if s.inPkt[i] != nil && int(s.inRoute[i]) == port {
+			return true
 		}
 	}
 	return false

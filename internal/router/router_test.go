@@ -213,7 +213,7 @@ func TestTimersAndMostStarved(t *testing.T) {
 	r1 := b.routers[topo.NodeAt(topology.Coord{1, 0})]
 	blocker := packet.New(99, 0, 1, 4, 0)
 	for v := 0; v < cfg.VCs; v++ {
-		r1.outputs[topology.PortFor(0, 1)][v].owner = blocker
+		r1.st.outOwner[r1.outIdx(topology.PortFor(0, 1), v)] = blocker
 	}
 	p := packet.New(1, topo.NodeAt(topology.Coord{0, 0}), topo.NodeAt(topology.Coord{2, 0}), 3, 0)
 	if !r0.InjectFlit(p.Flit(0), 0) {
@@ -268,7 +268,7 @@ func TestFalseDeadlockPresumptionClears(t *testing.T) {
 	r1 := b.routers[topo.NodeAt(topology.Coord{1, 0})]
 	blocker := packet.New(99, 0, 1, 4, 0)
 	for v := 0; v < cfg.VCs; v++ {
-		r1.outputs[topology.PortFor(0, 1)][v].owner = blocker
+		r1.st.outOwner[r1.outIdx(topology.PortFor(0, 1), v)] = blocker
 	}
 	p := packet.New(1, topo.NodeAt(topology.Coord{0, 0}), topo.NodeAt(topology.Coord{2, 0}), 3, 0)
 	b.routers[0].InjectFlit(p.Flit(0), 0)
@@ -283,7 +283,7 @@ func TestFalseDeadlockPresumptionClears(t *testing.T) {
 	}
 	// The congestion clears before the Token arrives: a false deadlock.
 	for v := 0; v < cfg.VCs; v++ {
-		r1.outputs[topology.PortFor(0, 1)][v].owner = nil
+		r1.st.outOwner[r1.outIdx(topology.PortFor(0, 1), v)] = nil
 	}
 	for i := 0; i < 4; i++ {
 		b.step()
@@ -312,7 +312,7 @@ func TestReservations(t *testing.T) {
 	}
 	res.Reset()
 	// Occupy the DB with p1; p2 must be refused even after reset.
-	target.dbs[0].pkt = p1
+	target.st.dbPkt[target.db0] = p1
 	if res.ReserveDB(target, 0, p2) {
 		t.Fatal("DB reserved for a foreign packet")
 	}
@@ -321,8 +321,8 @@ func TestReservations(t *testing.T) {
 	}
 	res.Reset()
 	// Full DB refuses even the owner.
-	target.dbs[0].buf.Push(p1.Flit(0))
-	target.flitCount++
+	target.st.dbPush(target.db0, p1.Flit(0))
+	target.st.flitCount[target.node]++
 	if res.ReserveDB(target, 0, p1) {
 		t.Fatal("full DB accepted a flit")
 	}
@@ -350,7 +350,7 @@ func TestRouterViewImplementation(t *testing.T) {
 	}
 	p := packet.New(1, 0, 1, 4, 0)
 	p.DimReversals = 3
-	corner.outputs[0][0].owner = p
+	corner.st.outOwner[corner.outIdx(0, 0)] = p
 	if corner.FreeVCs(0) != cfg.VCs-1 {
 		t.Fatal("FreeVCs did not drop")
 	}
@@ -361,8 +361,8 @@ func TestRouterViewImplementation(t *testing.T) {
 		t.Fatal("free VC reported occupied")
 	}
 	// Draining VC (owner gone, credits low) is not allocatable.
-	corner.outputs[0][0].owner = nil
-	corner.outputs[0][0].credits = cfg.BufferDepth - 1
+	corner.st.outOwner[corner.outIdx(0, 0)] = nil
+	corner.st.outCredits[corner.outIdx(0, 0)] = int32(cfg.BufferDepth - 1)
 	if corner.OutputVCFree(0, 0) {
 		t.Fatal("draining VC must not be reallocatable")
 	}

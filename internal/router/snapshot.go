@@ -14,11 +14,14 @@ func readCycle(rd *snapshot.Reader) sim.Cycle { return sim.Cycle(rd.I64()) }
 // stream (which AppendState omits because it never influences a digest
 // comparison between two live networks, but which a restored run needs to
 // reproduce future selection draws). Packets are stored as IDs; the network
-// owns the packet table and rewires pointers on decode.
+// owns the packet table and rewires pointers on decode. Like AppendState,
+// the walk follows logical (port, vc) and ring order, so the stream is
+// independent of the SoA layout and its ring head positions.
 //
 // EncodeState and DecodeState must be kept in lockstep with AppendState:
 // any new field that can influence a future cycle must appear in all three.
 func (r *Router) EncodeState(w *snapshot.Writer) {
+	s := r.st
 	putPkt := func(p *packet.Packet) {
 		if p == nil {
 			w.I64(-1)
@@ -26,57 +29,55 @@ func (r *Router) EncodeState(w *snapshot.Writer) {
 		}
 		w.I64(int64(p.ID))
 	}
-	putFifo := func(f *fifo) {
-		w.Int(f.Len())
-		for i := 0; i < f.Len(); i++ {
-			fl := f.At(i)
+
+	w.I64(int64(r.node))
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		putPkt(s.inPkt[i])
+		w.Int(int(s.inRoute[i]))
+		w.Int(int(s.inOutVC[i]))
+		w.Int(int(s.inDBLane[i]))
+		w.I64(int64(s.inWaiting[i]))
+		w.Bool(s.inPresumed[i])
+		w.Bool(s.inSent[i])
+		w.Int(int(s.inLen[i]))
+		for k := 0; k < int(s.inLen[i]); k++ {
+			fl := s.inAt(i, k)
 			putPkt(fl.Pkt)
 			w.Int(fl.Seq)
 		}
 	}
-
-	w.I64(int64(r.node))
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			putPkt(ivc.pkt)
-			w.Int(ivc.route)
-			w.Int(ivc.outVC)
-			w.Int(ivc.dbLane)
-			w.I64(int64(ivc.waiting))
-			w.Bool(ivc.presumed)
-			w.Bool(ivc.sent)
-			putFifo(&ivc.buf)
+	for l := 0; l < s.outStr; l++ {
+		i := r.out0 + l
+		putPkt(s.outOwner[i])
+		w.Int(int(s.outCredits[i]))
+	}
+	for lane := 0; lane < s.lanes; lane++ {
+		i := r.db0 + lane
+		putPkt(s.dbPkt[i])
+		w.Int(int(s.dbRoute[i]))
+		w.Int(int(s.dbLen[i]))
+		for k := 0; k < int(s.dbLen[i]); k++ {
+			fl := s.dbAt(i, k)
+			putPkt(fl.Pkt)
+			w.Int(fl.Seq)
 		}
 	}
-	for q := range r.outputs {
-		for v := range r.outputs[q] {
-			o := &r.outputs[q][v]
-			putPkt(o.owner)
-			w.Int(o.credits)
-		}
+	for q := 0; q < r.deg; q++ {
+		i := r.cx0 + q
+		w.Int(int(s.cxInPort[i]))
+		w.Int(int(s.cxInVC[i]))
+		w.Bool(s.cxDB[i])
+		w.Bool(s.cxSaved[i])
+		w.Int(int(s.cxSavedPort[i]))
+		w.Int(int(s.cxSavedVC[i]))
 	}
-	for lane := range r.dbs {
-		db := &r.dbs[lane]
-		putPkt(db.pkt)
-		w.Int(db.route)
-		putFifo(&db.buf)
+	w.Int(int(s.vcArbOff[r.node]))
+	for q := 0; q <= r.deg; q++ {
+		w.Int(int(s.swArbOff[r.swIdx(q)]))
 	}
-	for q := range r.conn {
-		c := &r.conn[q]
-		w.Int(c.inPort)
-		w.Int(c.inVC)
-		w.Bool(c.db)
-		w.Bool(c.saved)
-		w.Int(c.savedPort)
-		w.Int(c.savedVC)
-	}
-	w.Int(r.vcArbOffset)
-	for _, off := range r.swArbOffset {
-		w.Int(off)
-	}
-	w.I64(int64(r.effTout))
-	w.Int(r.decayCount)
+	w.I64(int64(s.effTout[r.node]))
+	w.Int(int(s.decayCount[r.node]))
 	w.I64(r.stats.TimeoutEvents)
 	w.I64(r.stats.FalseDetections)
 	w.I64(r.stats.Recoveries)
@@ -89,11 +90,11 @@ func (r *Router) EncodeState(w *snapshot.Writer) {
 	for _, c := range r.blockedByVC {
 		w.I64(c)
 	}
-	w.Int(r.lastBlocked)
-	w.Int(r.lastPresumed)
+	w.Int(int(s.lastBlocked[r.node]))
+	w.Int(int(s.lastPresumed[r.node]))
 	st := r.rng.State()
-	for _, s := range st {
-		w.U64(s)
+	for _, v := range st {
+		w.U64(v)
 	}
 }
 
@@ -104,7 +105,11 @@ func (r *Router) EncodeState(w *snapshot.Writer) {
 // the snapshot was taken under; structural dimensions (ports, VCs, buffer
 // capacities) are validated against the stream, and every index and length
 // is bounds-checked so corrupt input yields an error, never a panic.
+// Restored rings are repacked from physical position 0 — the head position
+// is a private representation detail with no logical meaning, so the repack
+// is invisible to digests.
 func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet.Packet) error {
+	s := r.st
 	getPkt := func() *packet.Packet {
 		id := rd.I64()
 		if rd.Err() != nil || id == -1 {
@@ -116,12 +121,15 @@ func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet
 		}
 		return p
 	}
-	getFifo := func(f *fifo) {
-		for !f.Empty() {
-			f.Pop()
+	// getInFifo/getDBFifo drain ring i (zeroing its slots) and refill it from
+	// the stream.
+	getInFifo := func(i int) {
+		for s.inLen[i] > 0 {
+			s.inPop(i)
 		}
-		n := rd.Len(f.Cap())
-		for i := 0; i < n; i++ {
+		s.inHead[i] = 0
+		n := rd.Len(s.depth)
+		for k := 0; k < n; k++ {
 			p := getPkt()
 			seq := rd.Int()
 			if rd.Err() != nil {
@@ -135,79 +143,111 @@ func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet
 				rd.Fail("snapshot: router %d flit seq %d outside packet length %d", r.node, seq, p.Length)
 				return
 			}
-			f.Push(packet.Flit{Pkt: p, Seq: seq})
+			s.inPush(i, packet.Flit{Pkt: p, Seq: seq})
+		}
+	}
+	getDBFifo := func(i int) {
+		for s.dbLen[i] > 0 {
+			s.dbPop(i)
+		}
+		s.dbHead[i] = 0
+		n := rd.Len(s.dbDepth)
+		for k := 0; k < n; k++ {
+			p := getPkt()
+			seq := rd.Int()
+			if rd.Err() != nil {
+				return
+			}
+			if p == nil {
+				rd.Fail("snapshot: router %d has a buffered flit with no packet", r.node)
+				return
+			}
+			if seq < 0 || seq >= p.Length {
+				rd.Fail("snapshot: router %d flit seq %d outside packet length %d", r.node, seq, p.Length)
+				return
+			}
+			s.dbPush(i, packet.Flit{Pkt: p, Seq: seq})
 		}
 	}
 	checkPort := func(v int, what string) int {
-		if rd.Err() == nil && (v < PortEject || v >= r.topo.Degree()) {
+		if rd.Err() == nil && (v < PortEject || v >= r.deg) {
 			rd.Fail("snapshot: router %d %s %d out of range", r.node, what, v)
 		}
 		return v
 	}
 
 	rd.Expect(int64(r.node), "router node")
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			ivc.pkt = getPkt()
-			ivc.route = checkPort(rd.Int(), "input route")
-			ivc.outVC = rd.Int()
-			if rd.Err() == nil && (ivc.outVC < VCDeadlockBuffer || ivc.outVC >= r.cfg.VCs) {
-				rd.Fail("snapshot: router %d output VC %d out of range", r.node, ivc.outVC)
-			}
-			ivc.dbLane = rd.Int()
-			if rd.Err() == nil && (ivc.dbLane < 0 || (ivc.dbLane > 0 && ivc.dbLane >= len(r.dbs))) {
-				rd.Fail("snapshot: router %d DB lane %d out of range", r.node, ivc.dbLane)
-			}
-			ivc.waiting = readCycle(rd)
-			ivc.presumed = rd.Bool()
-			ivc.sent = rd.Bool()
-			getFifo(&ivc.buf)
-			if err := rd.Err(); err != nil {
-				return err
-			}
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		s.inPkt[i] = getPkt()
+		s.inRoute[i] = int32(checkPort(rd.Int(), "input route"))
+		outVC := rd.Int()
+		if rd.Err() == nil && (outVC < VCDeadlockBuffer || outVC >= r.cfg.VCs) {
+			rd.Fail("snapshot: router %d output VC %d out of range", r.node, outVC)
 		}
-	}
-	for q := range r.outputs {
-		for v := range r.outputs[q] {
-			o := &r.outputs[q][v]
-			o.owner = getPkt()
-			o.credits = rd.Int()
-			if rd.Err() == nil && (o.credits < 0 || o.credits > r.cfg.BufferDepth) {
-				rd.Fail("snapshot: router %d credits %d outside [0, %d]", r.node, o.credits, r.cfg.BufferDepth)
-			}
+		s.inOutVC[i] = int32(outVC)
+		dbLane := rd.Int()
+		if rd.Err() == nil && (dbLane < 0 || (dbLane > 0 && dbLane >= s.lanes)) {
+			rd.Fail("snapshot: router %d DB lane %d out of range", r.node, dbLane)
 		}
-	}
-	for lane := range r.dbs {
-		db := &r.dbs[lane]
-		db.pkt = getPkt()
-		db.route = checkPort(rd.Int(), "DB route")
-		getFifo(&db.buf)
+		s.inDBLane[i] = int32(dbLane)
+		s.inWaiting[i] = readCycle(rd)
+		s.inPresumed[i] = rd.Bool()
+		s.inSent[i] = rd.Bool()
+		getInFifo(i)
 		if err := rd.Err(); err != nil {
 			return err
 		}
 	}
-	for q := range r.conn {
-		c := &r.conn[q]
-		c.inPort = rd.Int()
-		if rd.Err() == nil && (c.inPort < connNone || c.inPort >= len(r.inputs)) {
-			rd.Fail("snapshot: router %d crossbar input port %d out of range", r.node, c.inPort)
+	for l := 0; l < s.outStr; l++ {
+		i := r.out0 + l
+		s.outOwner[i] = getPkt()
+		credits := rd.Int()
+		if rd.Err() == nil && (credits < 0 || credits > r.cfg.BufferDepth) {
+			rd.Fail("snapshot: router %d credits %d outside [0, %d]", r.node, credits, r.cfg.BufferDepth)
 		}
-		c.inVC = rd.Int()
-		c.db = rd.Bool()
-		c.saved = rd.Bool()
-		c.savedPort = rd.Int()
-		if rd.Err() == nil && (c.savedPort < connNone || c.savedPort >= len(r.inputs)) {
-			rd.Fail("snapshot: router %d saved crossbar port %d out of range", r.node, c.savedPort)
+		s.outCredits[i] = int32(credits)
+	}
+	for lane := 0; lane < s.lanes; lane++ {
+		i := r.db0 + lane
+		s.dbPkt[i] = getPkt()
+		s.dbRoute[i] = int32(checkPort(rd.Int(), "DB route"))
+		getDBFifo(i)
+		if err := rd.Err(); err != nil {
+			return err
 		}
-		c.savedVC = rd.Int()
 	}
-	r.vcArbOffset = rd.Int()
-	for i := range r.swArbOffset {
-		r.swArbOffset[i] = rd.Int()
+	for q := 0; q < r.deg; q++ {
+		i := r.cx0 + q
+		inPort := rd.Int()
+		if rd.Err() == nil && (inPort < connNone || inPort > r.deg) {
+			rd.Fail("snapshot: router %d crossbar input port %d out of range", r.node, inPort)
+		}
+		s.cxInPort[i] = int32(inPort)
+		s.cxInVC[i] = int32(rd.Int())
+		s.cxDB[i] = rd.Bool()
+		s.cxSaved[i] = rd.Bool()
+		savedPort := rd.Int()
+		if rd.Err() == nil && (savedPort < connNone || savedPort > r.deg) {
+			rd.Fail("snapshot: router %d saved crossbar port %d out of range", r.node, savedPort)
+		}
+		s.cxSavedPort[i] = int32(savedPort)
+		s.cxSavedVC[i] = int32(rd.Int())
 	}
-	r.effTout = readCycle(rd)
-	r.decayCount = rd.Int()
+	vcOff := rd.Int()
+	if rd.Err() == nil && (vcOff < 0 || vcOff >= s.stride) {
+		rd.Fail("snapshot: router %d VC arbitration offset %d out of range", r.node, vcOff)
+	}
+	s.vcArbOff[r.node] = int32(vcOff)
+	for q := 0; q <= r.deg; q++ {
+		off := rd.Int()
+		if rd.Err() == nil && (off < 0 || off >= s.stride) {
+			rd.Fail("snapshot: router %d switch arbitration offset %d out of range", r.node, off)
+		}
+		s.swArbOff[r.swIdx(q)] = int32(off)
+	}
+	s.effTout[r.node] = readCycle(rd)
+	s.decayCount[r.node] = int32(rd.Int())
 	r.stats.TimeoutEvents = rd.I64()
 	r.stats.FalseDetections = rd.I64()
 	r.stats.Recoveries = rd.I64()
@@ -220,8 +260,8 @@ func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet
 	for i := range r.blockedByVC {
 		r.blockedByVC[i] = rd.I64()
 	}
-	r.lastBlocked = rd.Int()
-	r.lastPresumed = rd.Int()
+	s.lastBlocked[r.node] = int32(rd.Int())
+	s.lastPresumed[r.node] = int32(rd.Int())
 	var st [4]uint64
 	for i := range st {
 		st[i] = rd.U64()
@@ -233,14 +273,13 @@ func (r *Router) DecodeState(rd *snapshot.Reader, resolve func(id int64) *packet
 	r.pendingTimeouts = r.pendingTimeouts[:0]
 	// Rebuild the derived flit counter from the restored buffers; it is not
 	// serialized (the snapshot format predates it, and it is derivable).
-	r.flitCount = 0
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			r.flitCount += r.inputs[p][v].buf.Len()
-		}
+	total := int32(0)
+	for l := 0; l < s.stride; l++ {
+		total += s.inLen[r.in0+l]
 	}
-	for i := range r.dbs {
-		r.flitCount += r.dbs[i].buf.Len()
+	for lane := 0; lane < s.lanes; lane++ {
+		total += s.dbLen[r.db0+lane]
 	}
+	s.flitCount[r.node] = total
 	return nil
 }

@@ -8,15 +8,15 @@ import (
 
 // InputFlitAt returns buffered flit i (0 == head) of input VC (port, vc).
 // Invariant checkers walk buffers with it.
-func (r *Router) InputFlitAt(port, vc, i int) packet.Flit { return r.inputs[port][vc].buf.At(i) }
+func (r *Router) InputFlitAt(port, vc, i int) packet.Flit { return r.st.inAt(r.inIdx(port, vc), i) }
 
 // DBLaneLen returns the number of flits buffered in the given Deadlock
 // Buffer lane.
-func (r *Router) DBLaneLen(lane int) int { return r.dbs[lane].buf.Len() }
+func (r *Router) DBLaneLen(lane int) int { return int(r.st.dbLen[r.dbIdx(lane)]) }
 
 // DBFlitAt returns buffered flit i (0 == head) of the given Deadlock Buffer
 // lane.
-func (r *Router) DBFlitAt(lane, i int) packet.Flit { return r.dbs[lane].buf.At(i) }
+func (r *Router) DBFlitAt(lane, i int) packet.Flit { return r.st.dbAt(r.dbIdx(lane), i) }
 
 // AppendState appends a deterministic binary encoding of the router's full
 // microarchitectural state to b and returns the extended slice: every input
@@ -26,7 +26,13 @@ func (r *Router) DBFlitAt(lane, i int) packet.Flit { return r.dbs[lane].buf.At(i
 // suite hashes it to prove that sharded and serial kernels leave the network
 // in byte-identical states; any field that can influence a future cycle must
 // be included here.
+//
+// The encoding walks the logical (port, vc) order and each ring's logical
+// head-to-tail order, never the physical SoA layout (ring head positions,
+// flat slot indices), so it is layout-invariant: the struct-of-arrays
+// representation produces the same bytes the per-router structs did.
 func (r *Router) AppendState(b []byte) []byte {
+	s := r.st
 	put := func(v int64) {
 		b = binary.LittleEndian.AppendUint64(b, uint64(v))
 	}
@@ -44,57 +50,55 @@ func (r *Router) AppendState(b []byte) []byte {
 		}
 		put(int64(p.ID))
 	}
-	putFifo := func(f *fifo) {
-		put(int64(f.Len()))
-		for i := 0; i < f.Len(); i++ {
-			fl := f.At(i)
+
+	put(int64(r.node))
+	for l := 0; l < s.stride; l++ {
+		i := r.in0 + l
+		putPkt(s.inPkt[i])
+		put(int64(s.inRoute[i]))
+		put(int64(s.inOutVC[i]))
+		put(int64(s.inDBLane[i]))
+		put(int64(s.inWaiting[i]))
+		putBool(s.inPresumed[i])
+		putBool(s.inSent[i])
+		put(int64(s.inLen[i]))
+		for k := 0; k < int(s.inLen[i]); k++ {
+			fl := s.inAt(i, k)
 			putPkt(fl.Pkt)
 			put(int64(fl.Seq))
 		}
 	}
-
-	put(int64(r.node))
-	for p := range r.inputs {
-		for v := range r.inputs[p] {
-			ivc := &r.inputs[p][v]
-			putPkt(ivc.pkt)
-			put(int64(ivc.route))
-			put(int64(ivc.outVC))
-			put(int64(ivc.dbLane))
-			put(int64(ivc.waiting))
-			putBool(ivc.presumed)
-			putBool(ivc.sent)
-			putFifo(&ivc.buf)
+	for l := 0; l < s.outStr; l++ {
+		i := r.out0 + l
+		putPkt(s.outOwner[i])
+		put(int64(s.outCredits[i]))
+	}
+	for lane := 0; lane < s.lanes; lane++ {
+		i := r.db0 + lane
+		putPkt(s.dbPkt[i])
+		put(int64(s.dbRoute[i]))
+		put(int64(s.dbLen[i]))
+		for k := 0; k < int(s.dbLen[i]); k++ {
+			fl := s.dbAt(i, k)
+			putPkt(fl.Pkt)
+			put(int64(fl.Seq))
 		}
 	}
-	for q := range r.outputs {
-		for v := range r.outputs[q] {
-			o := &r.outputs[q][v]
-			putPkt(o.owner)
-			put(int64(o.credits))
-		}
+	for q := 0; q < r.deg; q++ {
+		i := r.cx0 + q
+		put(int64(s.cxInPort[i]))
+		put(int64(s.cxInVC[i]))
+		putBool(s.cxDB[i])
+		putBool(s.cxSaved[i])
+		put(int64(s.cxSavedPort[i]))
+		put(int64(s.cxSavedVC[i]))
 	}
-	for lane := range r.dbs {
-		db := &r.dbs[lane]
-		putPkt(db.pkt)
-		put(int64(db.route))
-		putFifo(&db.buf)
+	put(int64(s.vcArbOff[r.node]))
+	for q := 0; q <= r.deg; q++ {
+		put(int64(s.swArbOff[r.swIdx(q)]))
 	}
-	for q := range r.conn {
-		c := &r.conn[q]
-		put(int64(c.inPort))
-		put(int64(c.inVC))
-		putBool(c.db)
-		putBool(c.saved)
-		put(int64(c.savedPort))
-		put(int64(c.savedVC))
-	}
-	put(int64(r.vcArbOffset))
-	for _, off := range r.swArbOffset {
-		put(int64(off))
-	}
-	put(int64(r.effTout))
-	put(int64(r.decayCount))
+	put(int64(s.effTout[r.node]))
+	put(int64(s.decayCount[r.node]))
 	put(r.stats.TimeoutEvents)
 	put(r.stats.FalseDetections)
 	put(r.stats.Recoveries)
@@ -107,7 +111,7 @@ func (r *Router) AppendState(b []byte) []byte {
 	for _, c := range r.blockedByVC {
 		put(c)
 	}
-	put(int64(r.lastBlocked))
-	put(int64(r.lastPresumed))
+	put(int64(s.lastBlocked[r.node]))
+	put(int64(s.lastPresumed[r.node]))
 	return b
 }

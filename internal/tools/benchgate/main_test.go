@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	line := "BenchmarkStepSerial/torus16-8   \t     400\t   123456 ns/op\t       0 B/op\t       0 allocs/op\t       256 routers/step"
@@ -45,24 +48,54 @@ func TestParseGate(t *testing.T) {
 	}
 }
 
-func TestCheckGate(t *testing.T) {
+func TestEvalGate(t *testing.T) {
 	samples := map[string][]float64{
 		"Base": {100, 110, 90, 105, 95}, // median 100
 		"Fast": {40, 50, 45},            // median 45
 		"Slow": {200, 210, 190},         // median 200
 	}
-	if msg, ok := checkGate(gate{candidate: "Fast", baseline: "Base", maxRatio: 0.667}, samples); !ok {
-		t.Fatalf("fast candidate failed gate:\n%s", msg)
+	if r := evalGate(gate{candidate: "Fast", baseline: "Base", maxRatio: 0.667}, samples); !r.ok() || r.ratio != 0.45 {
+		t.Fatalf("fast candidate: %+v", r)
 	}
-	if msg, ok := checkGate(gate{candidate: "Slow", baseline: "Base", maxRatio: 1.0}, samples); ok {
-		t.Fatalf("slow candidate passed gate:\n%s", msg)
+	if r := evalGate(gate{candidate: "Slow", baseline: "Base", maxRatio: 1.0}, samples); r.ok() {
+		t.Fatalf("slow candidate passed gate: %+v", r)
 	}
 	// Missing benchmarks must fail rather than silently disarm the gate.
-	if _, ok := checkGate(gate{candidate: "Gone", baseline: "Base", maxRatio: 1.0}, samples); ok {
-		t.Fatal("missing candidate passed gate")
+	if r := evalGate(gate{candidate: "Gone", baseline: "Base", maxRatio: 1.0}, samples); r.ok() || r.missing != "Gone" {
+		t.Fatalf("missing candidate: %+v", r)
 	}
-	if _, ok := checkGate(gate{candidate: "Fast", baseline: "Gone", maxRatio: 1.0}, samples); ok {
-		t.Fatal("missing baseline passed gate")
+	if r := evalGate(gate{candidate: "Fast", baseline: "Gone", maxRatio: 1.0}, samples); r.ok() || r.missing != "Gone" {
+		t.Fatalf("missing baseline: %+v", r)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	samples := map[string][]float64{
+		"Base": {100},
+		"Fast": {45},
+		"Slow": {200},
+	}
+	table := renderTable([]gateResult{
+		evalGate(gate{candidate: "Fast", baseline: "Base", maxRatio: 0.667}, samples),
+		evalGate(gate{candidate: "Slow", baseline: "Base", maxRatio: 1.0}, samples),
+		evalGate(gate{candidate: "Gone", baseline: "Base", maxRatio: 1.0}, samples),
+	})
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want header + 3 rows:\n%s", len(lines), table)
+	}
+	for i, want := range []string{"RESULT", "PASS", "FAIL", "MISSING Gone"} {
+		if !strings.Contains(lines[i], want) {
+			t.Errorf("line %d missing %q:\n%s", i, want, table)
+		}
+	}
+	// Every row must carry both medians (or "-") so a failure is diagnosable
+	// from the table alone.
+	if !strings.Contains(lines[1], "45 (n=1)") || !strings.Contains(lines[1], "100 (n=1)") {
+		t.Errorf("pass row lacks medians:\n%s", table)
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Errorf("missing row lacks placeholder:\n%s", table)
 	}
 }
 
