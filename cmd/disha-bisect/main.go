@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	disha "repro"
+	"repro/internal/chaos"
 	"repro/internal/telemetry"
 )
 
@@ -82,6 +83,7 @@ func main() {
 		granularity = flag.Int("granularity", 256, "coarse comparison stride in cycles")
 		overridesA  = flag.String("a", "", "side A overrides, e.g. alg=disha,misroutes=0")
 		overridesB  = flag.String("b", "", "side B overrides, e.g. alg=disha,misroutes=3")
+		chaosScript = flag.String("chaos-script", "", "arm this JSON chaos event-schedule on BOTH sides (replayed deterministically; see CHAOS.md)")
 		version     = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
@@ -107,12 +109,31 @@ func main() {
 	cfgB, err := applyOverrides(base, *overridesB)
 	fail(err)
 
+	// A chaos schedule is armed identically on both sides — and re-armed
+	// after every restore, since checkpoints deliberately do not carry the
+	// pending schedule (already-applied events replay from the snapshot's
+	// reconfiguration log; arming drops them as stale).
+	var chaosEvents []disha.ReconfigEvent
+	if *chaosScript != "" {
+		sched, err := chaos.Load(*chaosScript)
+		fail(err)
+		chaosEvents, err = sched.Reconfig()
+		fail(err)
+	}
+	arm := func(s *disha.Simulator) {
+		if chaosEvents != nil {
+			fail(s.ScheduleReconfig(chaosEvents))
+		}
+	}
+
 	simA, err := buildSim(cfgA)
 	fail(err)
 	defer simA.Close()
 	simB, err := buildSim(cfgB)
 	fail(err)
 	defer simB.Close()
+	arm(simA)
+	arm(simB)
 
 	fmt.Printf("side A: %s\nside B: %s\n", describe(cfgA), describe(cfgB))
 
@@ -162,6 +183,8 @@ func main() {
 	defer simB2.Close()
 	fail(simA2.Restore(bytes.NewReader(lastEqualA.Bytes())))
 	fail(simB2.Restore(bytes.NewReader(lastEqualB.Bytes())))
+	arm(simA2)
+	arm(simB2)
 
 	for {
 		simA2.Run(1)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	disha "repro"
+	"repro/internal/chaos"
 	"repro/internal/telemetry"
 )
 
@@ -54,6 +55,10 @@ func main() {
 		activeSet = flag.Bool("active-set", true, "skip fully drained routers in the step kernel (identical results; disable only to benchmark the full-scan baseline)")
 		refScan   = flag.Bool("reference-scan", false, "use the retained reference scan path instead of the optimized struct-of-arrays scans (identical results; exists for conformance testing and benchmarking)")
 		wfg       = flag.Bool("wfg", false, "run the wait-for-graph analyzer at the end")
+
+		chaosScript  = flag.String("chaos-script", "", "run a chaos campaign: JSON event-schedule of mid-run kill/heal/swap reconfiguration events (see CHAOS.md)")
+		chaosGen     = flag.Int("chaos-gen", 0, "generate a seeded chaos campaign of this many kill/heal events for the current topology, save it to -chaos-script, then run it (seeded by -seed)")
+		chaosRouters = flag.Bool("chaos-routers", false, "include router kill/heal events in -chaos-gen campaigns")
 
 		ckptPath    = flag.String("checkpoint", "disha-sim.ckpt", "checkpoint file path (used by -checkpoint-every and -restore)")
 		ckptEvery   = flag.Int("checkpoint-every", 0, "atomically save a checkpoint every N cycles (0 = off)")
@@ -206,6 +211,31 @@ func main() {
 		}
 	}
 
+	// Chaos campaigns arm after any restore (events before the restored
+	// cycle were replayed from the checkpoint's reconfiguration log and are
+	// dropped on arming, so a resumed run replays the remaining timeline
+	// exactly — see CHAOS.md) and after telemetry, so the runner's
+	// recovery/reconverge histograms register on the hub.
+	if *chaosGen > 0 {
+		if *chaosScript == "" {
+			fail(fmt.Errorf("-chaos-gen requires -chaos-script (the file to write)"))
+		}
+		sched, err := chaos.Generate(chaos.CampaignConfig{
+			Topo: topo, Seed: *seed, Events: *chaosGen, RouterKills: *chaosRouters,
+		})
+		fail(err)
+		fail(sched.Save(*chaosScript))
+		fmt.Fprintf(os.Stderr, "disha-sim: generated chaos campaign %q -> %s\n", sched.Name, *chaosScript)
+	}
+	var chaosRun *chaos.Runner
+	if *chaosScript != "" {
+		sched, err := chaos.Load(*chaosScript)
+		fail(err)
+		chaosRun, err = chaos.NewRunner(sim.Network(), sched)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "disha-sim: chaos campaign %q armed: %d events\n", sched.Name, len(sched.Events))
+	}
+
 	var lat disha.LatencyCollector
 	sim.OnDeliver(func(p *disha.Packet) { lat.Add(float64(p.Age())) })
 	// -cycles is the absolute target, so a restored run stops at the same
@@ -219,7 +249,11 @@ func main() {
 				step = next - int64(sim.Now())
 			}
 		}
-		sim.Run(int(step))
+		if chaosRun != nil {
+			chaosRun.Run(step)
+		} else {
+			sim.Run(int(step))
+		}
 		if *ckptEvery > 0 && int64(sim.Now())%int64(*ckptEvery) == 0 {
 			fail(sim.SaveCheckpoint(*ckptPath))
 		}
@@ -227,6 +261,9 @@ func main() {
 	drained := false
 	if *drain > 0 {
 		drained = sim.Drain(*drain)
+		if chaosRun != nil {
+			chaosRun.Sync()
+		}
 	}
 	if tel != nil {
 		tel.Registry.Publish() // final state for late scrapes
@@ -246,6 +283,13 @@ func main() {
 	fmt.Println(strings.Repeat("-", 72))
 	fmt.Print(sim.Report())
 	fmt.Printf("latency:           %v\n", lat.Summarize())
+	if chaosRun != nil {
+		s := chaosRun.Summary()
+		fmt.Println(strings.Repeat("-", 72))
+		fmt.Print(chaos.FormatReports(chaosRun.Reports()))
+		fmt.Printf("chaos: %d events (%d applied, %d skipped, %d unreconverged) | lost %d pkts / %d flits | worst recovery %d cy, reconverge %d cy\n",
+			s.Events, s.Applied, s.Skipped, s.Open, s.PacketsLost, s.FlitsLost, s.MaxRecovery, s.MaxReconverge)
+	}
 	if *drain > 0 {
 		fmt.Printf("drained:           %v\n", drained)
 	}

@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	disha "repro"
+	"repro/internal/chaos"
 	"repro/internal/engine"
 	"repro/internal/telemetry"
 )
@@ -58,6 +59,7 @@ func main() {
 		ckptDir   = flag.String("checkpoint-dir", "", "directory for mid-point checkpoints; killed points resume mid-flight with byte-identical results (requires -checkpoint-every)")
 		ckptN     = flag.Int("checkpoint-every", 0, "cycles between mid-point checkpoints (0 = off; requires -checkpoint-dir)")
 		metrics   = flag.String("metrics-addr", "", "serve engine progress on this address at /metrics (optional, e.g. :9090)")
+		chaosFile = flag.String("chaos", "", "arm this JSON chaos event-schedule on every point's network (cycles are warm-up + measurement; see CHAOS.md)")
 		version   = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
@@ -92,6 +94,16 @@ func main() {
 		sc.Seed = *seed
 	}
 
+	var chaosEvents []disha.ReconfigEvent
+	if *chaosFile != "" {
+		sched, err := chaos.Load(*chaosFile)
+		fail(err)
+		chaosEvents, err = sched.Reconfig()
+		fail(err)
+		fmt.Fprintf(os.Stderr, "disha-sweep: chaos campaign %q armed on every point: %d events\n",
+			sched.Name, len(sched.Events))
+	}
+
 	var engineMetrics *engine.Metrics
 	if *metrics != "" {
 		reg := telemetry.NewRegistry()
@@ -123,6 +135,7 @@ func main() {
 		}
 		spec.Shards = *shards
 		spec.DisableActiveSet = !*activeSet
+		spec.Chaos = chaosEvents
 		fmt.Printf("== figure %s: %s ==\n", name, spec.Name)
 		progress := func(s string) { fmt.Println("  " + s) }
 		if *quiet {

@@ -350,6 +350,71 @@ func (s *Simulator) FailLink(node Node, port int) error {
 	return s.net.FailLink(node, port)
 }
 
+// --- Dynamic reconfiguration ---------------------------------------------------
+
+// ReconfigEvent is one scheduled mid-run topology or routing mutation; see
+// network.ReconfigEvent and CHAOS.md.
+type ReconfigEvent = network.ReconfigEvent
+
+// ReconfigOutcome records how one reconfiguration event was applied (or why
+// it was skipped) and what it cost; see network.ReconfigOutcome.
+type ReconfigOutcome = network.ReconfigOutcome
+
+// Reconfiguration event kinds.
+const (
+	ReconfigKillLink      = network.ReconfigKillLink
+	ReconfigHealLink      = network.ReconfigHealLink
+	ReconfigKillRouter    = network.ReconfigKillRouter
+	ReconfigHealRouter    = network.ReconfigHealRouter
+	ReconfigSwapAlgorithm = network.ReconfigSwapAlgorithm
+)
+
+// ScheduleReconfig arms a sorted schedule of reconfiguration events that the
+// engine applies deterministically at their cycles; see
+// network.ScheduleReconfig.
+func (s *Simulator) ScheduleReconfig(events []ReconfigEvent) error {
+	return s.net.ScheduleReconfig(events)
+}
+
+// KillLink severs a link immediately, dropping packets with flits committed
+// to it (unlike FailLink, which refuses busy links); see network.KillLink.
+func (s *Simulator) KillLink(node Node, port int) error {
+	return s.net.KillLink(node, port)
+}
+
+// HealLink restores a previously killed or failed link.
+func (s *Simulator) HealLink(node Node, port int) error {
+	return s.net.HealLink(node, port)
+}
+
+// KillRouter removes a router and its links, dropping packets at or destined
+// for it; see network.KillRouter.
+func (s *Simulator) KillRouter(node Node) error {
+	return s.net.KillRouter(node)
+}
+
+// HealRouter revives a killed router, reconnecting its links whose far
+// endpoints are alive and not independently failed.
+func (s *Simulator) HealRouter(node Node) error {
+	return s.net.HealRouter(node)
+}
+
+// SwapRouting switches every router to the named routing algorithm mid-run
+// (e.g. "duato", "disha-m1"); see network.SwapAlgorithm and routing.ByName.
+func (s *Simulator) SwapRouting(name string) error {
+	alg, err := routing.ByName(name)
+	if err != nil {
+		return err
+	}
+	return s.net.SwapAlgorithm(alg)
+}
+
+// ReconfigLog returns every reconfiguration outcome so far, in application
+// order — the deterministic record a replayed run must reproduce exactly.
+func (s *Simulator) ReconfigLog() []ReconfigOutcome {
+	return s.net.ReconfigLog()
+}
+
 // --- Checkpoint / restore -----------------------------------------------------
 
 // Snapshot writes a versioned binary serialization of the complete
@@ -405,6 +470,7 @@ const (
 	TraceTokenCapture = trace.TokenCapture
 	TraceTokenRelease = trace.TokenRelease
 	TraceKill         = trace.Kill
+	TraceDrop         = trace.Drop
 )
 
 // EnableTrace attaches a ring buffer recording the most recent capacity

@@ -1,0 +1,7 @@
+//go:build !race
+
+package chaos
+
+// raceEnabled lets slow tests skip under the race detector; the CI chaos
+// job runs them in a dedicated non-instrumented step instead.
+const raceEnabled = false

@@ -17,8 +17,11 @@ import (
 // Point-checkpoint container identity (the payload embeds a network
 // snapshot, which carries its own magic and version).
 const (
-	checkpointMagic   = "DISHACKP"
-	checkpointVersion = 1
+	checkpointMagic = "DISHACKP"
+	// Version 2: Counters gained the reconfiguration loss fields
+	// (PacketsLost, FlitsLost, PacketsUnroutable) and the embedded network
+	// snapshot moved to its version 2 (reconfiguration log).
+	checkpointVersion = 2
 )
 
 // checkpointSaveHook, when non-nil, runs after every successful checkpoint

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"hash/fnv"
 	"os"
 	"sort"
 	"strings"
@@ -87,6 +88,13 @@ type Spec struct {
 	// cycle instead of only the active set. Byte-identical either way; the
 	// full scan is only useful as a benchmarking baseline.
 	DisableActiveSet bool
+	// Chaos, when non-empty, arms this reconfiguration event schedule on
+	// every point's network (and re-arms it after a checkpoint resume —
+	// already-applied events replay from the snapshot's reconfiguration log
+	// and are dropped on arming). Event cycles are global: warm-up plus
+	// measurement. The schedule participates in PointKey, so journal and
+	// cache entries never leak between chaos and chaos-free sweeps.
+	Chaos []network.ReconfigEvent
 }
 
 // PointResult is the measurement of one (algorithm, load) pair. With
@@ -108,7 +116,8 @@ type PointResult struct {
 	TrueDeadlocks  int64 // WFG-sampled deadlocked configurations (if enabled)
 	WFGSamples     int64
 	MisrouteHops   int64
-	Replicas       int // independent runs aggregated into this point (>= 1)
+	PacketsLost    int64 // dropped by chaos reconfiguration events in-window
+	Replicas       int   // independent runs aggregated into this point (>= 1)
 }
 
 // Result bundles an experiment's curves.
@@ -339,6 +348,13 @@ func (s *Spec) RunWith(opts RunOptions) (*Result, *engine.Report, error) {
 func (s *Spec) PointKey(algLabel string, load float64, replica int) string {
 	cfgTag := fmt.Sprintf("%s|seed=%x|w=%d|m=%d|msg=%d|vc=%d|bd=%d",
 		s.Name, s.Seed, s.Warmup, s.Measure, s.MsgLen, s.VCs, s.BufferDepth)
+	if len(s.Chaos) > 0 {
+		h := fnv.New64a()
+		for _, ev := range s.Chaos {
+			fmt.Fprintf(h, "%d|%d|%d|%d|%s;", ev.Cycle, ev.Kind, ev.Node, ev.Port, ev.Alg)
+		}
+		cfgTag += fmt.Sprintf("|chaos=%x", h.Sum64())
+	}
 	return fmt.Sprintf("%s/%s@%.4f#%d", cfgTag, algLabel, load, replica)
 }
 
@@ -417,6 +433,7 @@ func aggregateReplicas(load float64, reps []PointResult) PointResult {
 		agg.TrueDeadlocks += r.TrueDeadlocks
 		agg.WFGSamples += r.WFGSamples
 		agg.MisrouteHops += r.MisrouteHops
+		agg.PacketsLost += r.PacketsLost
 	}
 	agg.MeanLatency = metrics.Mean(lat)
 	agg.LatencyCI95 = metrics.CI95(lat)
@@ -533,6 +550,15 @@ func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64, ck *checkpointer
 		}
 		ck.arm(st.warmupRan + st.ran)
 	}
+	// Arm the chaos schedule after any restore: events already applied were
+	// replayed from the snapshot's reconfiguration log, and ScheduleReconfig
+	// drops them as stale, so a resumed point replays the remaining
+	// timeline exactly.
+	if len(s.Chaos) > 0 {
+		if err := net.ScheduleReconfig(s.Chaos); err != nil {
+			return PointResult{}, err
+		}
+	}
 
 	// Warm-up: run without collecting.
 	for st.warmupRan < s.Warmup {
@@ -614,6 +640,7 @@ func (s *Spec) runPoint(alg AlgSpec, load float64, seed uint64, ck *checkpointer
 	pr.TokenSeizures = end.TokenSeizures - startCounters.TokenSeizures
 	pr.TimeoutEvents = end.TimeoutEvents - startCounters.TimeoutEvents
 	pr.MisrouteHops = end.MisrouteHops - startCounters.MisrouteHops
+	pr.PacketsLost = end.PacketsLost - startCounters.PacketsLost
 	if delivered > 0 {
 		pr.SeizureRatio = float64(pr.TokenSeizures) / float64(delivered)
 	}

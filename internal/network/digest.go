@@ -40,6 +40,9 @@ func (n *Network) Fingerprint() [32]byte {
 	put(c.BlockedCycles)
 	put(c.TokenTransit)
 	put(c.TokenHold)
+	put(c.PacketsLost)
+	put(c.FlitsLost)
+	put(c.PacketsUnroutable)
 
 	put(int64(n.nextID))
 	for i := range n.nis {

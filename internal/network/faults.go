@@ -8,17 +8,24 @@ import (
 )
 
 // FailLink severs the bidirectional link between node and its neighbor on
-// port, modeling a hard link fault. The paper presents fault tolerance as a
-// Disha capability: fully adaptive routing steers around faults (with
-// misrouting where needed), and any packet stranded by a fault times out
-// and escapes through the Deadlock Buffer lane, which FailLink re-routes
+// port, modeling a hard link fault on an idle link. The paper presents fault
+// tolerance as a Disha capability: fully adaptive routing steers around
+// faults (with misrouting where needed), and any packet stranded by a fault
+// times out and escapes through the Deadlock Buffer lane, which is re-routed
 // over live links only (a breadth-first next-hop table replaces
 // dimension-order routing).
 //
-// Restrictions, each returning an error: the link must exist and be idle
-// (dynamic mid-stream faults lose flits and are not modeled — as in the
-// paper); the live network must remain strongly connected; and concurrent
-// recovery is unsupported (its Hamiltonian lanes assume an intact path).
+// FailLink is the conservative entry point: it refuses links carrying
+// traffic, so it never loses flits. Dynamic mid-stream faults ARE modeled —
+// by KillLink and the scheduled reconfiguration events (see reconfig.go),
+// which drop the packets whose flits are committed to the dying link and
+// account them in Counters.PacketsLost / FlitsLost. Both paths record the
+// fault in the reconfiguration log, and a failed link can later be restored
+// with HealLink.
+//
+// Restrictions, each returning an error: the link must exist and be idle;
+// the live network must remain connected; and concurrent recovery is
+// unsupported (its Hamiltonian lanes assume an intact path).
 func (n *Network) FailLink(node topology.Node, port int) error {
 	if n.cfg.Router.Recovery == router.RecoveryConcurrent {
 		return fmt.Errorf("network: fault injection is not supported with concurrent recovery")
@@ -31,50 +38,18 @@ func (n *Network) FailLink(node topology.Node, port int) error {
 	if b == nil {
 		return fmt.Errorf("network: link %d/%d does not exist (or already failed)", node, port)
 	}
-	rev := topology.ReversePort(port)
-	if a.LinkBusy(port) || b.LinkBusy(rev) {
+	if a.LinkBusy(port) || b.LinkBusy(topology.ReversePort(port)) {
 		return fmt.Errorf("network: link %d/%d is carrying traffic; drain before failing it", node, port)
 	}
-	a.Disconnect(port)
-	b.Disconnect(rev)
-	if !n.liveConnected() {
-		// Restore: a disconnected network cannot deliver all traffic.
-		a.Connect(port, b)
-		b.Connect(rev, a)
-		return fmt.Errorf("network: failing link %d/%d would disconnect the network", node, port)
-	}
-	n.failedLinks++
-	n.failedLinkList = append(n.failedLinkList, [2]int{int(node), port})
-	n.rebuildDBTable()
-	return nil
+	// An idle link has no victims, so the mid-stream kill path degenerates to
+	// exactly the static fault injection this API always provided.
+	return n.applyNow(ReconfigEvent{Cycle: n.clock.Now(), Kind: ReconfigKillLink, Node: node, Port: port})
 }
 
-// FailedLinks returns how many links have been failed.
+// FailedLinks returns how many links are currently down (failed or killed,
+// minus healed). Links downed because an endpoint router was killed are not
+// counted; they come back when the router heals.
 func (n *Network) FailedLinks() int { return n.failedLinks }
-
-// liveConnected checks strong connectivity over live links. Links are
-// failed in pairs, so the live graph is symmetric and one BFS suffices.
-func (n *Network) liveConnected() bool {
-	seen := make([]bool, len(n.routers))
-	queue := []topology.Node{0}
-	seen[0] = true
-	count := 1
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		r := n.routers[cur]
-		for p := 0; p < n.topo.Degree(); p++ {
-			nb := r.Neighbor(p)
-			if nb == nil || seen[nb.NodeID()] {
-				continue
-			}
-			seen[nb.NodeID()] = true
-			count++
-			queue = append(queue, nb.NodeID())
-		}
-	}
-	return count == len(n.routers)
-}
 
 // rebuildDBTable computes, for every destination, the breadth-first
 // next-hop port at every node over live links, and installs the table in
@@ -91,6 +66,9 @@ func (n *Network) rebuildDBTable() {
 	var queue []topology.Node
 	for d := 0; d < nodes; d++ {
 		dst := topology.Node(d)
+		if n.deadCount != 0 && n.routerDead[dst] {
+			continue // unreachable; no packet addressed to it survives a kill
+		}
 		for i := range dist {
 			dist[i] = -1
 		}

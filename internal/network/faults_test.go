@@ -100,6 +100,67 @@ func TestDishaToleratesFaults(t *testing.T) {
 	}
 }
 
+// TestHealThenRefailLink cycles one link through fail → heal → refail,
+// checking the bookkeeping stays consistent and traffic still drains.
+func TestHealThenRefailLink(t *testing.T) {
+	topo := topology.MustTorus(4, 4)
+	n := mustNet(t, testConfig(topo, routing.Disha(3), 0.3, 17))
+	if err := n.FailLink(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.HealLink(0, 0); err != nil {
+		t.Fatalf("heal after fail: %v", err)
+	}
+	if n.FailedLinks() != 0 {
+		t.Fatalf("heal did not clear the failed-link count: %d", n.FailedLinks())
+	}
+	if err := n.HealLink(0, 0); err == nil {
+		t.Fatal("healing a healthy link accepted")
+	}
+	n.Run(200)
+	if err := n.KillLink(0, 0); err != nil {
+		t.Fatalf("refail after heal: %v", err)
+	}
+	if n.FailedLinks() != 1 {
+		t.Fatalf("refail not counted: %d", n.FailedLinks())
+	}
+	// The reverse direction is the same link: healing from the far side
+	// must work on the canonical key.
+	nb, _ := topo.Neighbor(0, 0)
+	if err := n.HealLink(nb, topology.ReversePort(0)); err != nil {
+		t.Fatalf("heal via reverse endpoint: %v", err)
+	}
+	drain(t, n, 1000, 60000)
+	c := n.Counters()
+	if c.PacketsInjected != c.PacketsDelivered+c.PacketsLost {
+		t.Fatalf("ledger broken: injected=%d delivered=%d lost=%d",
+			c.PacketsInjected, c.PacketsDelivered, c.PacketsLost)
+	}
+}
+
+// TestFailLastRedundantLink strips a corner down to one link and checks the
+// final cut is refused — for both the conservative and the forced paths.
+func TestFailLastRedundantLink(t *testing.T) {
+	topo := topology.MustMesh(2, 2)
+	n := mustNet(t, testConfig(topo, routing.Disha(3), 0.0, 1))
+	if err := n.FailLink(0, topology.PortFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailLink(0, topology.PortFor(1, 1)); err == nil {
+		t.Fatal("FailLink accepted cutting the corner's last link")
+	}
+	if err := n.KillLink(0, topology.PortFor(1, 1)); err == nil {
+		t.Fatal("KillLink accepted cutting the corner's last link")
+	}
+	// Healing the first link restores redundancy, and the other cut works.
+	if err := n.HealLink(0, topology.PortFor(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.FailLink(0, topology.PortFor(1, 1)); err != nil {
+		t.Fatalf("cut with restored redundancy refused: %v", err)
+	}
+}
+
 // TestRecoveryLaneRoutesAroundFault forces a recovery whose dimension-order
 // DB path would cross the failed link, verifying the BFS table detours.
 func TestRecoveryLaneRoutesAroundFault(t *testing.T) {

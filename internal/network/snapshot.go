@@ -16,15 +16,22 @@ import (
 // of being mis-decoded (TestSnapshotGoldenFixture pins the current layout).
 const (
 	snapshotMagic   = "DISHANET"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
 // Snapshot writes a versioned binary serialization of the network's complete
-// dynamic state to w: configuration guard, fault-injection replay list,
-// clock, RNG streams, event counters, the live packet table (each in-flight
-// or queued packet once, by identity), every node's source-queue and
+// dynamic state to w: configuration guard, the reconfiguration log (every
+// link/router kill and heal and routing swap, for topology replay), clock,
+// RNG streams, event counters, the live packet table (each in-flight or
+// queued packet once, by identity), every node's source-queue and
 // injection-stream state, the recovery Token, and every router's full
 // microstate plus its private RNG (router.EncodeState).
+//
+// An armed reconfiguration schedule (ScheduleReconfig) is deliberately NOT
+// serialized: schedules live outside the network (chaos schedule files,
+// harness specs), and the caller re-arms the same schedule after Restore —
+// events whose cycle already passed are dropped on arming because the log
+// replay above has already reproduced their effect.
 //
 // The encoding is deterministic and kernel-independent: serial and sharded
 // networks in the same state produce identical bytes. Restoring it into a
@@ -40,10 +47,18 @@ func (n *Network) Snapshot(w io.Writer) error {
 	var enc snapshot.Writer
 	n.encodeConfigGuard(&enc)
 
-	enc.Int(len(n.failedLinkList))
-	for _, l := range n.failedLinkList {
-		enc.Int(l[0])
-		enc.Int(l[1])
+	enc.Int(len(n.reconfigLog))
+	for _, o := range n.reconfigLog {
+		enc.I64(int64(o.Cycle))
+		enc.Int(int(o.Kind))
+		enc.Int(int(o.Node))
+		enc.Int(o.Port)
+		enc.String(o.Alg)
+		enc.Bool(o.Applied)
+		enc.String(o.Reason)
+		enc.I64(o.PacketsLost)
+		enc.I64(o.FlitsLost)
+		enc.I64(o.PacketsUnroutable)
 	}
 
 	enc.I64(int64(n.clock.Now()))
@@ -117,7 +132,7 @@ func (n *Network) Snapshot(w io.Writer) error {
 // results) and never stepped; anything else is an error. On any decoding
 // error the network state is undefined and the network must be discarded.
 func (n *Network) Restore(r io.Reader) error {
-	if n.clock.Now() != 0 || n.counters != (Counters{}) || n.failedLinks != 0 {
+	if n.clock.Now() != 0 || n.counters != (Counters{}) || len(n.reconfigLog) != 0 {
 		return fmt.Errorf("network: Restore requires a freshly constructed network")
 	}
 	data, err := io.ReadAll(r)
@@ -134,15 +149,34 @@ func (n *Network) Restore(r io.Reader) error {
 		return err
 	}
 
-	nFaults := dec.Len(dec.Remaining() / 16)
-	for i := 0; i < nFaults; i++ {
-		node, port := dec.Int(), dec.Int()
+	nEvents := dec.Len(dec.Remaining() / 64)
+	topoChanged := false
+	for i := 0; i < nEvents; i++ {
+		var o ReconfigOutcome
+		o.Cycle = readCycleVal(dec)
+		o.Kind = ReconfigKind(dec.Int())
+		o.Node = topology.Node(dec.Int())
+		o.Port = dec.Int()
+		o.Alg = dec.String()
+		o.Applied = dec.Bool()
+		o.Reason = dec.String()
+		o.PacketsLost = dec.I64()
+		o.FlitsLost = dec.I64()
+		o.PacketsUnroutable = dec.I64()
 		if err := dec.Err(); err != nil {
 			return err
 		}
-		if err := n.FailLink(topology.Node(node), port); err != nil {
-			return fmt.Errorf("network: replay fault injection: %w", err)
+		changed, err := n.replayOutcome(o)
+		if err != nil {
+			return fmt.Errorf("network: replay reconfiguration log entry %d (%s): %w", i, o.ReconfigEvent, err)
 		}
+		topoChanged = topoChanged || changed
+	}
+	if topoChanged {
+		// The decoded router state below carries the exact per-lane DB routes;
+		// only the shared next-hop table (consulted for future recoveries)
+		// needs rebuilding over the replayed wiring.
+		n.rebuildDBTable()
 	}
 
 	n.clock.Set(readCycleVal(dec))
@@ -288,6 +322,9 @@ func EncodeCounters(enc *snapshot.Writer, c Counters) {
 	enc.I64(c.BlockedCycles)
 	enc.I64(c.TokenTransit)
 	enc.I64(c.TokenHold)
+	enc.I64(c.PacketsLost)
+	enc.I64(c.FlitsLost)
+	enc.I64(c.PacketsUnroutable)
 }
 
 // DecodeCounters reverses EncodeCounters.
@@ -309,6 +346,9 @@ func DecodeCounters(dec *snapshot.Reader) Counters {
 	c.BlockedCycles = dec.I64()
 	c.TokenTransit = dec.I64()
 	c.TokenHold = dec.I64()
+	c.PacketsLost = dec.I64()
+	c.FlitsLost = dec.I64()
+	c.PacketsUnroutable = dec.I64()
 	return c
 }
 

@@ -16,9 +16,9 @@ import (
 // format change (remember to bump snapshotVersion) with:
 //
 //	go test ./internal/network -run TestSnapshotGoldenFixture -update-snapshot
-var updateSnapshot = flag.Bool("update-snapshot", false, "rewrite testdata/snapshot_v1.bin from the current encoder")
+var updateSnapshot = flag.Bool("update-snapshot", false, "rewrite testdata/snapshot_v2.bin from the current encoder")
 
-const snapshotFixture = "testdata/snapshot_v1.bin"
+const snapshotFixture = "testdata/snapshot_v2.bin"
 
 // takeSnapshot runs a fresh network for warm cycles and returns the network
 // plus its serialized state.
@@ -293,7 +293,7 @@ func TestSnapshotDeterministicBytes(t *testing.T) {
 }
 
 // snapshotFixtureConfig is the pinned configuration for the committed
-// format fixture. Changing it invalidates testdata/snapshot_v1.bin.
+// format fixture. Changing it invalidates testdata/snapshot_v2.bin.
 func snapshotFixtureConfig() Config {
 	cfg := testConfig(topology.MustTorus(4, 4), routing.Disha(0), 0.6, 2026)
 	cfg.Router.VCs = 2

@@ -105,3 +105,16 @@ func (t *Token) Release(p *packet.Packet, at topology.Node) bool {
 	t.pos = idx
 	return true
 }
+
+// Drop frees the token if p holds it, without moving the circulation point:
+// used when a reconfiguration event removes the holder from the network
+// before its header could reach the destination. Reports whether the token
+// was actually held by p.
+func (t *Token) Drop(p *packet.Packet) bool {
+	if !t.held || t.holder != p {
+		return false
+	}
+	t.held = false
+	t.holder = nil
+	return true
+}

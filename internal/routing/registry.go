@@ -1,0 +1,35 @@
+package routing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ByName maps an algorithm's Name() string back to a constructed Algorithm.
+// It is the inverse the dynamic-reconfiguration subsystem needs: a
+// routing-function swap is recorded in the reconfiguration log (and in
+// chaos schedule files) by name, and snapshot restore replays the swap by
+// resolving the name here. Every Algorithm this package constructs
+// round-trips: ByName(a.Name()).Name() == a.Name().
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "dor":
+		return DOR(), nil
+	case "turn-negative-first":
+		return NegativeFirst(), nil
+	case "dally-aoki":
+		return DallyAoki(), nil
+	case "duato":
+		return Duato(), nil
+	case "duato-strict":
+		return DuatoStrict(), nil
+	}
+	if rest, ok := strings.CutPrefix(name, "disha-m"); ok {
+		m, err := strconv.Atoi(rest)
+		if err == nil && m >= 0 {
+			return Disha(m), nil
+		}
+	}
+	return nil, fmt.Errorf("routing: unknown algorithm %q", name)
+}

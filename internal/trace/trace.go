@@ -31,9 +31,12 @@ const (
 	TokenRelease
 	// Kill: abort-and-retry recovery purged the packet for retransmission.
 	Kill
+	// Drop: a dynamic reconfiguration event (link or router kill) discarded
+	// the packet's in-flight flits; unlike Kill it is not retransmitted.
+	Drop
 )
 
-var kindNames = [...]string{"inject", "deliver", "timeout", "recover", "token-capture", "token-release", "kill"}
+var kindNames = [...]string{"inject", "deliver", "timeout", "recover", "token-capture", "token-release", "kill", "drop"}
 
 func (k Kind) String() string {
 	if int(k) < len(kindNames) {
