@@ -85,7 +85,7 @@ func BenchmarkFig3bTimeoutSelection(b *testing.B) {
 }
 
 // comparisonBench runs the Figures 4-6 scheme set under one traffic pattern.
-func comparisonBench(b *testing.B, pattern func(disha.Topology) (disha.Pattern, error), load float64) {
+func comparisonBench(b *testing.B, pattern func(disha.Graph) (disha.Pattern, error), load float64) {
 	b.Helper()
 	type curve struct {
 		name     string
@@ -119,7 +119,7 @@ func comparisonBench(b *testing.B, pattern func(disha.Topology) (disha.Pattern, 
 
 // BenchmarkFig4Uniform is the uniform-traffic comparison (Figure 4).
 func BenchmarkFig4Uniform(b *testing.B) {
-	comparisonBench(b, func(t disha.Topology) (disha.Pattern, error) { return disha.Uniform(t), nil }, 0.5)
+	comparisonBench(b, func(t disha.Graph) (disha.Pattern, error) { return disha.Uniform(t), nil }, 0.5)
 }
 
 // BenchmarkFig5BitReversal is the bit-reversal comparison (Figure 5).
@@ -129,14 +129,15 @@ func BenchmarkFig5BitReversal(b *testing.B) {
 
 // BenchmarkFig6Transpose is the matrix-transpose comparison (Figure 6).
 func BenchmarkFig6Transpose(b *testing.B) {
-	comparisonBench(b, disha.Transpose, 0.4)
+	comparisonBench(b, func(g disha.Graph) (disha.Pattern, error) { return disha.Transpose(g.(disha.Topology)) }, 0.4)
 }
 
 // BenchmarkFig7HotSpot is the hot-spot comparison (Figure 7): 5% of all
 // traffic to one node; the paper's early-saturation case where misrouting
 // helps.
 func BenchmarkFig7HotSpot(b *testing.B) {
-	comparisonBench(b, func(t disha.Topology) (disha.Pattern, error) {
+	comparisonBench(b, func(g disha.Graph) (disha.Pattern, error) {
+		t := g.(disha.Topology)
 		return disha.HotSpot(disha.Uniform(t), t.NodeAt(disha.Coord{3, 5}), 0.05), nil
 	}, 0.2)
 }

@@ -17,8 +17,8 @@
 //	# recovery-mode comparison at a fine granularity
 //	disha-bisect -load 0.9 -a recovery=sequential -b recovery=abort-retry -granularity 64
 //
-// Override keys: alg, misroutes, sel, traffic, load, msglen, vcs, depth,
-// timeout, recovery, throttle, rx, seed, shards.
+// Override keys: topo, alg, misroutes, sel, traffic, load, msglen, vcs,
+// depth, timeout, recovery, throttle, rx, seed, shards.
 //
 // Exit status: 0 if the runs are digest-identical for the full -cycles
 // window, 1 if they diverge (the first divergent cycle is printed), 2 on
@@ -43,6 +43,7 @@ import (
 type sideConfig struct {
 	radix, dims int
 	mesh        bool
+	topo        string
 	alg         string
 	misroutes   int
 	sel         string
@@ -65,6 +66,7 @@ func main() {
 		radix       = flag.Int("radix", 8, "nodes per dimension")
 		dims        = flag.Int("dims", 2, "dimensions")
 		mesh        = flag.Bool("mesh", false, "use a mesh instead of a torus")
+		topoName    = flag.String("topo", "", `topology by name, e.g. "fullmesh-16" or "fattree-4" (overrides -radix/-dims/-mesh)`)
 		algName     = flag.String("alg", "disha", "routing algorithm: disha, dor, turn, dally, duato, duato-strict")
 		misroutes   = flag.Int("misroutes", 0, "Disha misroute bound M")
 		selName     = flag.String("sel", "random", "selection function: random, min-congestion")
@@ -93,7 +95,7 @@ func main() {
 	}
 
 	base := sideConfig{
-		radix: *radix, dims: *dims, mesh: *mesh,
+		radix: *radix, dims: *dims, mesh: *mesh, topo: *topoName,
 		alg: *algName, misroutes: *misroutes, sel: *selName,
 		traffic: *trafName, hotFrac: *hotFrac, load: *load,
 		msgLen: *msgLen, vcs: *vcs, depth: *depth, timeout: *timeout,
@@ -215,6 +217,8 @@ func applyOverrides(base sideConfig, s string) (sideConfig, error) {
 		}
 		var err error
 		switch k {
+		case "topo":
+			cfg.topo = v
 		case "alg":
 			cfg.alg = v
 		case "misroutes":
@@ -258,25 +262,43 @@ func describe(c sideConfig) string {
 	if c.mesh {
 		shape = "mesh"
 	}
+	if c.topo != "" {
+		return fmt.Sprintf("%s | %s(M=%d) sel=%s | %s load=%.2f msg=%d | vc=%d depth=%d T=%d %s | seed=%d shards=%d",
+			c.topo, c.alg, c.misroutes, c.sel,
+			c.traffic, c.load, c.msgLen, c.vcs, c.depth, c.timeout, c.recovery, c.seed, c.shards)
+	}
 	return fmt.Sprintf("%s %dx%d | %s(M=%d) sel=%s | %s load=%.2f msg=%d | vc=%d depth=%d T=%d %s | seed=%d shards=%d",
 		shape, c.radix, c.radix, c.alg, c.misroutes, c.sel,
 		c.traffic, c.load, c.msgLen, c.vcs, c.depth, c.timeout, c.recovery, c.seed, c.shards)
 }
 
 func buildSim(c sideConfig) (*disha.Simulator, error) {
-	radices := make([]int, c.dims)
-	for i := range radices {
-		radices[i] = c.radix
-	}
-	var topo disha.Topology
+	var topo disha.Graph
 	var err error
-	if c.mesh {
-		topo, err = disha.NewMesh(radices...)
+	if c.topo != "" {
+		topo, err = disha.ParseTopology(c.topo)
 	} else {
-		topo, err = disha.NewTorus(radices...)
+		radices := make([]int, c.dims)
+		for i := range radices {
+			radices[i] = c.radix
+		}
+		if c.mesh {
+			topo, err = disha.NewMesh(radices...)
+		} else {
+			topo, err = disha.NewTorus(radices...)
+		}
 	}
 	if err != nil {
 		return nil, err
+	}
+	// Coordinate-dependent traffic needs the cube layer; fail up front with
+	// a pointer at the incompatible pair rather than a type-assertion panic.
+	coord := func(name string) (disha.Topology, error) {
+		t, ok := topo.(disha.Topology)
+		if !ok {
+			return nil, fmt.Errorf("%s traffic needs cube coordinates, which %s does not have", name, topo.Name())
+		}
+		return t, nil
 	}
 
 	var alg disha.Algorithm
@@ -316,13 +338,22 @@ func buildSim(c sideConfig) (*disha.Simulator, error) {
 	case "bit-reversal":
 		pattern, err = disha.BitReversal(topo)
 	case "transpose":
-		pattern, err = disha.Transpose(topo)
+		var t disha.Topology
+		if t, err = coord(c.traffic); err == nil {
+			pattern, err = disha.Transpose(t)
+		}
 	case "hotspot":
 		pattern = disha.HotSpot(disha.Uniform(topo), disha.Node(topo.Nodes()/3), c.hotFrac)
 	case "complement":
-		pattern = disha.Complement(topo)
+		var t disha.Topology
+		if t, err = coord(c.traffic); err == nil {
+			pattern = disha.Complement(t)
+		}
 	case "tornado":
-		pattern = disha.Tornado(topo)
+		var t disha.Topology
+		if t, err = coord(c.traffic); err == nil {
+			pattern = disha.Tornado(t)
+		}
 	default:
 		err = fmt.Errorf("unknown traffic %q", c.traffic)
 	}

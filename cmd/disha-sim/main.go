@@ -10,6 +10,10 @@
 //
 //	disha-sim -alg duato -load 0.5 -cycles 20000
 //
+// Example — a non-cube topology by name (Disha routes on any graph):
+//
+//	disha-sim -topo dragonfly-4x2 -alg disha -load 0.3
+//
 // Example — full observability: Prometheus metrics + pprof on :9090 and a
 // JSONL telemetry stream for disha-trace:
 //
@@ -35,6 +39,7 @@ func main() {
 		radix     = flag.Int("radix", 16, "nodes per dimension")
 		dims      = flag.Int("dims", 2, "dimensions")
 		mesh      = flag.Bool("mesh", false, "use a mesh instead of a torus")
+		topoName  = flag.String("topo", "", `topology by name: "torus-8x8", "mesh-4x4x2", "hypercube-6", "fullmesh-16", "dragonfly-4x2", "fattree-4" (overrides -radix/-dims/-mesh)`)
 		algName   = flag.String("alg", "disha", "routing algorithm: disha, dor, turn, dally, duato, duato-strict")
 		misroutes = flag.Int("misroutes", 0, "Disha misroute bound M")
 		selName   = flag.String("sel", "random", "selection function: random, min-congestion")
@@ -78,16 +83,20 @@ func main() {
 		return
 	}
 
-	radices := make([]int, *dims)
-	for i := range radices {
-		radices[i] = *radix
-	}
-	var topo disha.Topology
+	var topo disha.Graph
 	var err error
-	if *mesh {
-		topo, err = disha.NewMesh(radices...)
+	if *topoName != "" {
+		topo, err = disha.ParseTopology(*topoName)
 	} else {
-		topo, err = disha.NewTorus(radices...)
+		radices := make([]int, *dims)
+		for i := range radices {
+			radices[i] = *radix
+		}
+		if *mesh {
+			topo, err = disha.NewMesh(radices...)
+		} else {
+			topo, err = disha.NewTorus(radices...)
+		}
 	}
 	fail(err)
 
@@ -128,13 +137,13 @@ func main() {
 	case "bit-reversal":
 		pattern, err = disha.BitReversal(topo)
 	case "transpose":
-		pattern, err = disha.Transpose(topo)
+		pattern, err = disha.Transpose(coordinated(topo, *trafName))
 	case "hotspot":
 		pattern, err = disha.NewHotSpot(disha.Uniform(topo), disha.Node(topo.Nodes()/3), *hotFrac)
 	case "complement":
-		pattern = disha.Complement(topo)
+		pattern = disha.Complement(coordinated(topo, *trafName))
 	case "tornado":
-		pattern = disha.Tornado(topo)
+		pattern = disha.Tornado(coordinated(topo, *trafName))
 	default:
 		err = fmt.Errorf("unknown traffic %q", *trafName)
 	}
@@ -305,6 +314,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "disha-sim: holding metrics endpoint for %v\n", *hold)
 		time.Sleep(*hold)
 	}
+}
+
+// coordinated unwraps the cube-coordinate layer of a topology, failing with
+// a usable message when the selected traffic pattern needs coordinates that
+// the chosen graph (full-mesh, dragonfly, fat-tree) does not have.
+func coordinated(g disha.Graph, traffic string) disha.Topology {
+	t, ok := g.(disha.Topology)
+	if !ok {
+		fail(fmt.Errorf("%s traffic needs cube coordinates, which %s does not have (try uniform or bit-reversal)", traffic, g.Name()))
+	}
+	return t
 }
 
 func parseRecovery(s string) disha.RecoveryMode {

@@ -41,7 +41,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "4", "figure to reproduce: 3a, 3b, 4, 5, 6, 7, or all")
+		fig       = flag.String("fig", "4", "figure to reproduce: 3a, 3b, 4, 5, 6, 7, fullmesh, or all")
 		scale     = flag.String("scale", "paper", "scale: paper (16x16, 32 flits) or small (8x8, 16 flits)")
 		csvDir    = flag.String("csv", "", "directory to write CSV results into (optional)")
 		warmup    = flag.Int("warmup", 0, "override warm-up cycles")

@@ -57,7 +57,13 @@ import (
 
 // --- Topologies -----------------------------------------------------------------
 
-// Topology is a direct interconnection network graph.
+// Graph is a directed network graph — the minimal interface the simulator
+// needs. Every Topology is a Graph; coordinate-free constructors (FullMesh,
+// Dragonfly, FatTree, ParseTopology) return plain Graphs.
+type Graph = topology.Graph
+
+// Topology is a direct interconnection network graph with k-ary n-cube
+// coordinates (torus, mesh, hypercube).
 type Topology = topology.Topology
 
 // Node identifies a network node.
@@ -84,6 +90,33 @@ func Hypercube(dims int) Topology { return topology.MustHypercube(dims) }
 
 // NewHypercube is the error-returning variant of Hypercube.
 func NewHypercube(dims int) (Topology, error) { return topology.NewHypercube(dims) }
+
+// FullMesh builds the complete graph on n nodes (every pair directly
+// linked); it panics on invalid n.
+func FullMesh(n int) Graph { return topology.MustFullMesh(n) }
+
+// NewFullMesh is the error-returning variant of FullMesh.
+func NewFullMesh(n int) (Graph, error) { return topology.NewFullMesh(n) }
+
+// Dragonfly builds a canonical dragonfly: groups of a routers, all-to-all
+// within a group, h global channels per router, one global channel between
+// every pair of groups. It panics on invalid parameters.
+func Dragonfly(a, h int) Graph { return topology.MustDragonfly(a, h) }
+
+// NewDragonfly is the error-returning variant of Dragonfly.
+func NewDragonfly(a, h int) (Graph, error) { return topology.NewDragonfly(a, h) }
+
+// FatTree builds a three-level k-ary fat-tree (k even) over the router
+// fabric: k pods of k edge+aggregation switches plus (k/2)^2 core switches.
+// It panics on invalid k.
+func FatTree(k int) Graph { return topology.MustFatTree(k) }
+
+// NewFatTree is the error-returning variant of FatTree.
+func NewFatTree(k int) (Graph, error) { return topology.NewFatTree(k) }
+
+// ParseTopology builds a topology from its textual name: "torus-8x8",
+// "mesh-4x4x2", "hypercube-3", "fullmesh-16", "dragonfly-4x2", "fattree-4".
+func ParseTopology(name string) (Graph, error) { return topology.Parse(name) }
 
 // --- Routing algorithms -----------------------------------------------------------
 
@@ -128,15 +161,15 @@ type Pattern = traffic.Pattern
 
 // Uniform sends each packet to a uniformly random other node; it panics on
 // a topology with fewer than two nodes (use NewUniform to get an error).
-func Uniform(topo Topology) Pattern { return traffic.Uniform(topo) }
+func Uniform(topo Graph) Pattern { return traffic.Uniform(topo) }
 
 // NewUniform is Uniform with an error instead of a panic on a topology with
 // fewer than two nodes.
-func NewUniform(topo Topology) (Pattern, error) { return traffic.NewUniform(topo) }
+func NewUniform(topo Graph) (Pattern, error) { return traffic.NewUniform(topo) }
 
 // BitReversal sends node a_{b-1}..a_0 to node a_0..a_{b-1}; the node count
 // must be a power of two.
-func BitReversal(topo Topology) (Pattern, error) { return traffic.BitReversal(topo) }
+func BitReversal(topo Graph) (Pattern, error) { return traffic.BitReversal(topo) }
 
 // Transpose sends (x, y) to (y, x) on a square 2D network.
 func Transpose(topo Topology) (Pattern, error) { return traffic.Transpose(topo) }
@@ -194,7 +227,7 @@ const (
 // defaults (4 VCs of depth 2, 32-flit messages, a single-flit Deadlock
 // Buffer, one injection and one reception channel, T_out = 8).
 type SimConfig struct {
-	Topo      Topology
+	Topo      Graph
 	Algorithm Algorithm
 	Selection Selection // default: random
 	Pattern   Pattern

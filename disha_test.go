@@ -106,8 +106,11 @@ func TestFacadeFigures(t *testing.T) {
 	if disha.Figure("4", sc) == nil || disha.Figure("nope", sc) != nil {
 		t.Fatal("Figure lookup broken")
 	}
-	if len(disha.Figures(sc)) != 6 {
-		t.Fatal("expected 6 canned figures")
+	if disha.Figure("fullmesh", sc) == nil {
+		t.Fatal("fullmesh baseline figure missing")
+	}
+	if len(disha.Figures(sc)) != 7 {
+		t.Fatal("expected 7 canned figures")
 	}
 }
 

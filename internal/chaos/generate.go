@@ -12,8 +12,9 @@ import (
 // (see Generate); only Topo is mandatory.
 type CampaignConfig struct {
 	// Topo is the topology the campaign targets; link candidates and
-	// feasibility modeling come from it.
-	Topo topology.Topology
+	// feasibility modeling come from it. Any Graph works — campaigns do not
+	// need coordinates.
+	Topo topology.Graph
 	// Seed drives the deterministic RNG; the same (Topo, Seed, knobs)
 	// always yields the byte-identical schedule.
 	Seed uint64
@@ -42,12 +43,16 @@ type linkRef struct {
 	node, port int
 }
 
-func canonicalLink(topo topology.Topology, node, port int) (linkRef, bool) {
+func canonicalLink(topo topology.Graph, node, port int) (linkRef, bool) {
 	nb, ok := topo.Neighbor(topology.Node(node), port)
 	if !ok {
 		return linkRef{}, false
 	}
-	rev := topology.ReversePort(port)
+	rev, paired := topo.ReversePortAt(topology.Node(node), port)
+	if !paired {
+		// A one-way channel has no second identity; it keys as itself.
+		return linkRef{node, port}, true
+	}
 	if int(nb) < node || (int(nb) == node && rev < port) {
 		return linkRef{int(nb), rev}, true
 	}

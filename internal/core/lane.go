@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// LaneRouting is a deterministic routing subfunction on an arbitrary
+// digraph: the single next-hop output port a recovery-lane flit at cur
+// takes toward dst, or ok=false when the subfunction supplies no hop.
+// Generalizing the Deadlock Buffer lane's dimension-order routing to this
+// shape is what lets the Lemma 1 / Mendlovic checks below run on any
+// topology.Graph, not just cubes.
+type LaneRouting func(cur, dst topology.Node) (port int, ok bool)
+
+// DORLane adapts the cube Deadlock Buffer lane's dimension-order routing
+// to the LaneRouting shape.
+func DORLane(topo topology.Topology) LaneRouting {
+	return func(cur, dst topology.Node) (int, bool) {
+		return routing.DORPort(topo, cur, dst)
+	}
+}
+
+// BFSLaneTable builds a per-destination next-hop table for g by reverse
+// breadth-first search from every destination over paired links: entry
+// [dst*Nodes+cur] is the output port a lane flit at cur takes toward dst
+// (-1 at cur == dst or when dst is unreachable). Ports are scanned in
+// increasing order, so the table is deterministic. This is the same
+// construction internal/network uses to rebuild the Deadlock Buffer
+// routing table after a reconfiguration, lifted to construction time for
+// topologies without cube coordinates.
+func BFSLaneTable(g topology.Graph) []int32 {
+	nodes, deg := g.Nodes(), g.Degree()
+	table := make([]int32, nodes*nodes)
+	for i := range table {
+		table[i] = -1
+	}
+	queue := make([]topology.Node, 0, nodes)
+	for d := 0; d < nodes; d++ {
+		dst := topology.Node(d)
+		seen := make([]bool, nodes)
+		seen[dst] = true
+		queue = append(queue[:0], dst)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			// A neighbor u one hop "behind" v reaches dst through the port
+			// whose link lands on v.
+			for p := 0; p < deg; p++ {
+				nb, ok := g.Neighbor(v, p)
+				if !ok {
+					continue
+				}
+				rev, ok := g.ReversePortAt(v, p)
+				if !ok || seen[nb] {
+					continue
+				}
+				seen[nb] = true
+				table[d*nodes+int(nb)] = int32(rev)
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return table
+}
+
+// TableLane wraps a BFSLaneTable-shaped per-destination next-hop table as
+// a LaneRouting function.
+func TableLane(g topology.Graph, table []int32) LaneRouting {
+	nodes := g.Nodes()
+	return func(cur, dst topology.Node) (int, bool) {
+		p := table[int(dst)*nodes+int(cur)]
+		if p < 0 {
+			return 0, false
+		}
+		return int(p), true
+	}
+}
+
+// VerifyLaneConnected is the generalized Lemma 1 check: the routing
+// subfunction next delivers every (src, dst) pair — from any node, the
+// declared lane reaches any destination. This is the whole deadlock-
+// freedom requirement for a Token-serialized recovery lane (at most one
+// packet occupies the lane at a time, so no cyclic wait can form on it);
+// concurrent use additionally needs the acyclicity half of
+// VerifyDeadlockFree. The walk is bounded by the node count, so a lane
+// that loops is reported as an error rather than hanging.
+func VerifyLaneConnected(g topology.Graph, next LaneRouting) error {
+	nodes := g.Nodes()
+	for d := 0; d < nodes; d++ {
+		dst := topology.Node(d)
+		// reaches[v] caches "v's lane path reaches dst" so the per-
+		// destination sweep is linear: each walk stops at the first node
+		// already proven to reach dst.
+		reaches := make([]bool, nodes)
+		reaches[d] = true
+		path := make([]topology.Node, 0, nodes)
+		for s := 0; s < nodes; s++ {
+			cur := topology.Node(s)
+			path = path[:0]
+			for !reaches[cur] {
+				if len(path) > nodes {
+					return fmt.Errorf("core: lane loops en route %d->%d", s, d)
+				}
+				path = append(path, cur)
+				port, ok := next(cur, dst)
+				if !ok {
+					return fmt.Errorf("core: lane stuck at %d en route %d->%d", cur, s, d)
+				}
+				nb, ok := g.Neighbor(cur, port)
+				if !ok {
+					return fmt.Errorf("core: lane needs missing link at %d port %d (%d->%d)", cur, port, s, d)
+				}
+				cur = nb
+			}
+			for _, v := range path {
+				reaches[v] = true
+			}
+		}
+	}
+	return nil
+}
+
+// BuildLaneCDG constructs the channel dependency graph induced by the
+// deterministic routing subfunction next on g (Definition 7 restricted to
+// the lane): walking every (src, dst) pair's lane path and recording
+// consecutive channel pairs, all in one channel class. Unreachable or
+// stuck pairs contribute nothing; VerifyLaneConnected reports those.
+func BuildLaneCDG(g topology.Graph, next LaneRouting) *Graph {
+	cdg := NewGraph()
+	nodes := g.Nodes()
+	for s := 0; s < nodes; s++ {
+		for d := 0; d < nodes; d++ {
+			if s == d {
+				continue
+			}
+			cur := topology.Node(s)
+			dst := topology.Node(d)
+			var prev Channel
+			have := false
+			for steps := 0; cur != dst && steps <= nodes; steps++ {
+				port, ok := next(cur, dst)
+				if !ok {
+					break
+				}
+				nb, ok := g.Neighbor(cur, port)
+				if !ok {
+					break
+				}
+				ch := Channel{From: cur, Port: port}
+				cdg.AddChannel(ch)
+				if have {
+					cdg.AddDep(prev, ch)
+				}
+				prev, have = ch, true
+				cur = nb
+			}
+		}
+	}
+	return cdg
+}
+
+// VerifyDeadlockFree is the Mendlovic-Matias condition, the necessary and
+// sufficient test for a deterministic routing function on an arbitrary
+// digraph to be deadlock-free under unrestricted concurrent use: the
+// subfunction is connected (generalized Lemma 1) and its channel
+// dependency graph is acyclic. A returned error carries either the
+// connectivity witness or the first dependency cycle found.
+func VerifyDeadlockFree(g topology.Graph, next LaneRouting) error {
+	if err := VerifyLaneConnected(g, next); err != nil {
+		return err
+	}
+	if cycle := BuildLaneCDG(g, next).FindCycle(); cycle != nil {
+		return fmt.Errorf("core: lane dependency cycle %v on %s", cycle, g.Name())
+	}
+	return nil
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"repro/internal/packet"
 	"repro/internal/router"
-	"repro/internal/topology"
 )
 
 // BlockedHeader describes one header that cannot advance this cycle: every
@@ -102,7 +101,7 @@ func AnalyzeWFG(routers []*router.Router) WFGResult {
 					// the packet whose flits still occupy that buffer —
 					// with single-flit packets this is the common case.
 					nb := r.Neighbor(c.Port)
-					inPort := topology.ReversePort(c.Port)
+					inPort := r.ReverseAt(c.Port)
 					if occupant := nb.InputOwner(inPort, c.VC); occupant != nil {
 						waitSet[occupant] = struct{}{}
 					} else {

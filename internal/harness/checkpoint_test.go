@@ -17,8 +17,8 @@ import (
 func checkpointSpec() *Spec {
 	return &Spec{
 		Name:    "checkpoint-test",
-		Topo:    func() topology.Topology { return topology.MustTorus(4, 4) },
-		Pattern: func(t topology.Topology) (traffic.Pattern, error) { return traffic.Uniform(t), nil },
+		Topo:    func() topology.Graph { return topology.MustTorus(4, 4) },
+		Pattern: func(t topology.Graph) (traffic.Pattern, error) { return traffic.Uniform(t), nil },
 		Algs: []AlgSpec{
 			{Algorithm: routing.Disha(0), Recovery: true, Timeout: 6},
 			{Algorithm: routing.DOR()},

@@ -75,7 +75,7 @@ func SpecFor(figure, scale string, warmup, measure int, seed uint64, loads []flo
 	}
 	spec, ok := Figures(sc)[figure]
 	if !ok {
-		return nil, fmt.Errorf("unknown figure %q (want 3a, 3b, 4, 5, 6 or 7)", figure)
+		return nil, fmt.Errorf("unknown figure %q (want 3a, 3b, 4, 5, 6, 7 or fullmesh)", figure)
 	}
 	if len(loads) > 0 {
 		for _, l := range loads {
@@ -88,12 +88,22 @@ func SpecFor(figure, scale string, warmup, measure int, seed uint64, loads []flo
 	return spec, nil
 }
 
-func (sc Scale) torus() func() topology.Topology {
-	return func() topology.Topology { return topology.MustTorus(sc.Radix, sc.Radix) }
+func (sc Scale) torus() func() topology.Graph {
+	return func() topology.Graph { return topology.MustTorus(sc.Radix, sc.Radix) }
 }
 
-func uniformPattern(topo topology.Topology) (traffic.Pattern, error) {
+func uniformPattern(topo topology.Graph) (traffic.Pattern, error) {
 	return traffic.Uniform(topo), nil
+}
+
+// coordinated asserts that the spec's graph carries cube coordinates; the
+// coordinate-dependent patterns (transpose, hot-spot placement) need them.
+func coordinated(g topology.Graph) (topology.Topology, error) {
+	t, ok := topology.Coordinated(g)
+	if !ok {
+		return nil, fmt.Errorf("harness: pattern needs a coordinate topology, have %s", g.Name())
+	}
+	return t, nil
 }
 
 // dishaCurves returns the paper's two Disha configurations: minimal (M=0)
@@ -168,7 +178,7 @@ func Fig3b(sc Scale) *Spec {
 
 // comparisonSpec builds the Figures 4-7 shape: Disha M=0 and M=3 against
 // the four avoidance baselines under the given traffic pattern.
-func comparisonSpec(name string, sc Scale, pattern func(topology.Topology) (traffic.Pattern, error)) *Spec {
+func comparisonSpec(name string, sc Scale, pattern func(topology.Graph) (traffic.Pattern, error)) *Spec {
 	return &Spec{
 		Name:    name,
 		Topo:    sc.torus(),
@@ -190,7 +200,7 @@ func Fig4(sc Scale) *Spec { return comparisonSpec("fig4-uniform", sc, uniformPat
 // Fig5 compares all schemes under bit-reversal traffic (paper: Disha M=0
 // saturates around 0.7, M=3 around 0.45; peak throughput ~50% over Duato).
 func Fig5(sc Scale) *Spec {
-	return comparisonSpec("fig5-bit-reversal", sc, func(t topology.Topology) (traffic.Pattern, error) {
+	return comparisonSpec("fig5-bit-reversal", sc, func(t topology.Graph) (traffic.Pattern, error) {
 		return traffic.BitReversal(t)
 	})
 }
@@ -199,7 +209,11 @@ func Fig5(sc Scale) *Spec {
 // M=0 saturates around 0.7, more than twice Duato; peak ~50% over Duato but
 // not sustained).
 func Fig6(sc Scale) *Spec {
-	return comparisonSpec("fig6-transpose", sc, func(t topology.Topology) (traffic.Pattern, error) {
+	return comparisonSpec("fig6-transpose", sc, func(g topology.Graph) (traffic.Pattern, error) {
+		t, err := coordinated(g)
+		if err != nil {
+			return nil, err
+		}
 		return traffic.Transpose(t)
 	})
 }
@@ -210,7 +224,11 @@ func Fig6(sc Scale) *Spec {
 // Duato, and Disha M=0 behind everyone — the one case where misrouting
 // helps by steering around the hot region.
 func Fig7(sc Scale) *Spec {
-	spec := comparisonSpec("fig7-hotspot", sc, func(t topology.Topology) (traffic.Pattern, error) {
+	spec := comparisonSpec("fig7-hotspot", sc, func(g topology.Graph) (traffic.Pattern, error) {
+		t, err := coordinated(g)
+		if err != nil {
+			return nil, err
+		}
 		// A fixed, reproducible hot node away from (0,0).
 		spot := t.NodeAt(topology.Coord{3 % t.Radix(0), 5 % t.Radix(1)})
 		return traffic.HotSpot(traffic.Uniform(t), spot, 0.05), nil
@@ -241,14 +259,41 @@ func itoa(n int) string {
 	return string(b[i:])
 }
 
+// FigFullMesh is the full-mesh baseline experiment (beyond the paper): on a
+// complete graph of sc.Radix nodes every minimal route is the single direct
+// hop, so minimal routing is deadlock-free with zero extra virtual channels —
+// recovery hardware is pure overhead there. The experiment makes that
+// measurable: Disha with the Token and Deadlock Buffer armed against the same
+// fully adaptive algorithm with recovery disabled ("minimal-vcfree"). The two
+// curves should coincide, and the armed curve's token-seizure ratio should
+// stay zero at every load.
+func FigFullMesh(sc Scale) *Spec {
+	return &Spec{
+		Name:    "fullmesh-baseline",
+		Topo:    func() topology.Graph { return topology.MustFullMesh(sc.Radix) },
+		Pattern: uniformPattern,
+		Algs: []AlgSpec{
+			{Label: "disha-recovery", Algorithm: routing.Disha(0), Recovery: true, Timeout: 8},
+			{Label: "minimal-vcfree", Algorithm: routing.Disha(0), Recovery: false},
+		},
+		Loads:   sc.Loads,
+		MsgLen:  sc.MsgLen,
+		VCs:     1,
+		Warmup:  sc.Warmup,
+		Measure: sc.Measure,
+		Seed:    sc.Seed,
+	}
+}
+
 // Figures returns all canned figure specs keyed by their short name.
 func Figures(sc Scale) map[string]*Spec {
 	return map[string]*Spec{
-		"3a": Fig3a(sc),
-		"3b": Fig3b(sc),
-		"4":  Fig4(sc),
-		"5":  Fig5(sc),
-		"6":  Fig6(sc),
-		"7":  Fig7(sc),
+		"3a":       Fig3a(sc),
+		"3b":       Fig3b(sc),
+		"4":        Fig4(sc),
+		"5":        Fig5(sc),
+		"6":        Fig6(sc),
+		"7":        Fig7(sc),
+		"fullmesh": FigFullMesh(sc),
 	}
 }

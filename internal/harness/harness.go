@@ -51,10 +51,12 @@ func (a AlgSpec) label() string {
 // algorithm curves and a load sweep.
 type Spec struct {
 	Name string
-	// Topo builds the network graph (fresh per run for safety).
-	Topo func() topology.Topology
+	// Topo builds the network graph (fresh per run for safety). Any
+	// topology.Graph works; coordinate-dependent patterns and algorithms
+	// additionally need it to implement topology.Topology.
+	Topo func() topology.Graph
 	// Pattern builds the workload for the topology.
-	Pattern func(topology.Topology) (traffic.Pattern, error)
+	Pattern func(topology.Graph) (traffic.Pattern, error)
 	Algs    []AlgSpec
 	// Loads are the offered load rates swept (fraction of capacity).
 	Loads  []float64

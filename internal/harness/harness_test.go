@@ -14,7 +14,7 @@ import (
 func tinySpec() *Spec {
 	return &Spec{
 		Name:    "tiny",
-		Topo:    func() topology.Topology { return topology.MustTorus(4, 4) },
+		Topo:    func() topology.Graph { return topology.MustTorus(4, 4) },
 		Pattern: uniformPattern,
 		Algs: []AlgSpec{
 			{Algorithm: routing.Disha(0), Recovery: true, Timeout: 8},
@@ -366,7 +366,7 @@ func TestParallelSpeedupSmoke(t *testing.T) {
 	}
 	spec := func() *Spec {
 		s := tinySpec()
-		s.Topo = func() topology.Topology { return topology.MustTorus(8, 8) }
+		s.Topo = func() topology.Graph { return topology.MustTorus(8, 8) }
 		s.Loads = []float64{0.2, 0.4, 0.6, 0.8}
 		s.Warmup, s.Measure = 500, 2000
 		return s

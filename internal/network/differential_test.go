@@ -26,7 +26,7 @@ type diffTraffic struct {
 	apply func(cfg *Config)
 }
 
-func diffTraffics(topo topology.Topology) []diffTraffic {
+func diffTraffics(topo topology.Graph) []diffTraffic {
 	return []diffTraffic{
 		{"uniform", func(cfg *Config) {}},
 		{"hotspot", func(cfg *Config) {
@@ -51,7 +51,7 @@ type diffCase struct {
 }
 
 func diffCases() []diffCase {
-	tight := func(alg routing.Algorithm, topo topology.Topology, load float64, vcs int) Config {
+	tight := func(alg routing.Algorithm, topo topology.Graph, load float64, vcs int) Config {
 		cfg := testConfig(topo, alg, load, 7)
 		cfg.Router.VCs = vcs
 		cfg.Router.BufferDepth = 2
@@ -69,6 +69,17 @@ func diffCases() []diffCase {
 		{"negfirst", func() Config { return tight(routing.NegativeFirst(), topology.MustMesh(6, 6), 0.5, 2) }},
 		{"dallyaoki", func() Config { return tight(routing.DallyAoki(), topology.MustTorus(6, 6), 0.5, 3) }},
 		{"duato", func() Config { return tight(routing.Duato(), topology.MustTorus(6, 6), 0.5, 3) }},
+		// Non-cube digraph topologies: Disha is the only algorithm family
+		// that routes on them, and the BFS-table Deadlock Buffer lane plus
+		// Token recovery is exactly the new state the scans must agree on.
+		{"fullmesh", func() Config {
+			cfg := tight(routing.Disha(1), topology.MustFullMesh(16), 0.4, 2)
+			cfg.Router.BufferDepth = 1
+			cfg.Router.Timeout = 4
+			return cfg
+		}},
+		{"dragonfly", func() Config { return tight(routing.Disha(2), topology.MustDragonfly(4, 2), 0.5, 2) }},
+		{"fattree", func() Config { return tight(routing.Disha(1), topology.MustFatTree(4), 0.5, 2) }},
 	}
 }
 

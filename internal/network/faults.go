@@ -38,7 +38,7 @@ func (n *Network) FailLink(node topology.Node, port int) error {
 	if b == nil {
 		return fmt.Errorf("network: link %d/%d does not exist (or already failed)", node, port)
 	}
-	if a.LinkBusy(port) || b.LinkBusy(topology.ReversePort(port)) {
+	if a.LinkBusy(port) || b.LinkBusy(a.ReverseAt(port)) {
 		return fmt.Errorf("network: link %d/%d is carrying traffic; drain before failing it", node, port)
 	}
 	// An idle link has no victims, so the mid-stream kill path degenerates to
@@ -92,7 +92,7 @@ func (n *Network) rebuildDBTable() {
 				dist[v] = dist[cur] + 1
 				// The link is bidirectional: from v, the reverse port leads
 				// to cur, one hop closer to dst.
-				table[d*nodes+int(v)] = int32(topology.ReversePort(p))
+				table[d*nodes+int(v)] = int32(r.ReverseAt(p))
 				queue = append(queue, v)
 			}
 		}

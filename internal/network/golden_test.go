@@ -69,6 +69,43 @@ func goldenCases() []goldenCase {
 			cycles: 600,
 			build:  func() Config { return seqRecovery(routing.Duato(), topology.MustTorus(8, 8), 0.5) },
 		},
+		// Non-cube digraph topologies route the Deadlock Buffer lane by the
+		// BFS next-hop table instead of dimension order; these cases pin
+		// that machinery (and Token circulation over a declared, non-
+		// serpentine lane) with the same tight deadlock-prone knobs.
+		{
+			name:   "fullmesh",
+			cycles: 600,
+			build: func() Config {
+				cfg := testConfig(topology.MustFullMesh(16), routing.Disha(1), 0.4, 42)
+				cfg.Router.VCs = 2
+				cfg.Router.BufferDepth = 1
+				cfg.Router.Timeout = 4
+				return cfg
+			},
+		},
+		{
+			name:   "dragonfly",
+			cycles: 600,
+			build: func() Config {
+				cfg := testConfig(topology.MustDragonfly(4, 2), routing.Disha(2), 0.5, 42)
+				cfg.Router.VCs = 2
+				cfg.Router.BufferDepth = 2
+				cfg.Router.Timeout = 8
+				return cfg
+			},
+		},
+		{
+			name:   "fattree",
+			cycles: 600,
+			build: func() Config {
+				cfg := testConfig(topology.MustFatTree(4), routing.Disha(1), 0.5, 42)
+				cfg.Router.VCs = 2
+				cfg.Router.BufferDepth = 2
+				cfg.Router.Timeout = 8
+				return cfg
+			},
+		},
 	}
 }
 
@@ -112,8 +149,9 @@ func readGolden(t *testing.T) map[string]string {
 	return m
 }
 
-// TestGoldenDigests pins the simulation's full observable behavior — all
-// five routing algorithms, fixed seeds — against committed SHA-256 digests,
+// TestGoldenDigests pins the simulation's full observable behavior — five
+// routing algorithms on cubes plus DISHA on the three non-cube digraph
+// topologies, fixed seeds — against committed SHA-256 digests,
 // and proves the parallel kernel's determinism contract: Shards ∈ {1,2,4,8}
 // must produce byte-identical state to the serial kernel.
 func TestGoldenDigests(t *testing.T) {

@@ -130,7 +130,7 @@ func (n *Network) CheckInvariants() error {
 			if nb == nil {
 				continue
 			}
-			rp := topology.ReversePort(q)
+			rp := r.ReverseAt(q)
 			for v := 0; v < n.cfg.Router.VCs; v++ {
 				if c := r.Credits(q, v) + nb.InputOccupancy(rp, v); c != depth {
 					return fmt.Errorf("network invariant: node %d output (%d,%d) credits+occupancy = %d, want buffer depth %d",

@@ -10,7 +10,7 @@ import (
 	"repro/internal/traffic"
 )
 
-func testConfig(topo topology.Topology, alg routing.Algorithm, load float64, seed uint64) Config {
+func testConfig(topo topology.Graph, alg routing.Algorithm, load float64, seed uint64) Config {
 	return Config{
 		Topo:      topo,
 		Router:    router.Default(),

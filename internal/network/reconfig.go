@@ -298,6 +298,18 @@ func (n *Network) applyMutation(ev ReconfigEvent) string {
 	}
 }
 
+// reversePort returns the input port at the neighbor reached over (node,
+// port). Network construction validated that every link in the topology has
+// a paired reverse channel, so this cannot fail for an existing link; it
+// returns -1 for a port with no neighbor.
+func (n *Network) reversePort(node topology.Node, port int) int {
+	rev, ok := n.topo.ReversePortAt(node, port)
+	if !ok {
+		return -1
+	}
+	return rev
+}
+
 // linkKey canonicalizes a link's (node, port) so both directions map to one
 // identity: the smaller endpoint's side wins (smaller port for a radix-2
 // wraparound link joining a node to itself).
@@ -306,7 +318,7 @@ func (n *Network) linkKey(node topology.Node, port int) [2]int {
 	if !ok {
 		return [2]int{int(node), port}
 	}
-	rev := topology.ReversePort(port)
+	rev := n.reversePort(node, port)
 	if int(nb) < int(node) || (nb == node && rev < port) {
 		return [2]int{int(nb), rev}
 	}
@@ -328,7 +340,7 @@ func (n *Network) applyKillLink(node topology.Node, port int) string {
 	if b == nil {
 		return fmt.Sprintf("link %d/%d does not exist (or already failed)", node, port)
 	}
-	rev := topology.ReversePort(port)
+	rev := n.reversePort(node, port)
 	// Probe connectivity with the link removed before committing to anything.
 	a.Disconnect(port)
 	b.Disconnect(rev)
@@ -372,7 +384,7 @@ func (n *Network) applyHealLink(node topology.Node, port int) string {
 		return fmt.Sprintf("an endpoint of link %d/%d is dead; heal the router instead", node, port)
 	}
 	a, b := n.routers[node], n.routers[nb]
-	rev := topology.ReversePort(port)
+	rev := n.reversePort(node, port)
 	a.Connect(port, b)
 	b.Connect(rev, a)
 	// The kill already reset both ends; reset again so a heal is clean even
@@ -422,7 +434,7 @@ func (n *Network) applyKillRouter(node topology.Node) string {
 		if nb == nil {
 			continue
 		}
-		rev := topology.ReversePort(p)
+		rev := n.reversePort(node, p)
 		// Surviving packets at the neighbor still aimed into the dying router
 		// re-route next cycle.
 		nb.ReleaseGrants(rev)
@@ -469,7 +481,7 @@ func (n *Network) applyHealRouter(node topology.Node) string {
 			continue
 		}
 		b := n.routers[nb]
-		rev := topology.ReversePort(p)
+		rev := n.reversePort(node, p)
 		d.Connect(p, b)
 		b.Connect(rev, d)
 		d.ResetOutputPort(p)
@@ -586,7 +598,7 @@ func (n *Network) replayOutcome(o ReconfigOutcome) (topoChanged bool, err error)
 			return false, fmt.Errorf("link already down")
 		}
 		a.Disconnect(o.Port)
-		b.Disconnect(topology.ReversePort(o.Port))
+		b.Disconnect(n.reversePort(o.Node, o.Port))
 		n.linkDown[n.linkKey(o.Node, o.Port)] = true
 		n.failedLinks++
 		return true, nil
@@ -603,7 +615,7 @@ func (n *Network) replayOutcome(o ReconfigOutcome) (topoChanged bool, err error)
 			return false, fmt.Errorf("link was not down")
 		}
 		n.routers[o.Node].Connect(o.Port, n.routers[nb])
-		n.routers[nb].Connect(topology.ReversePort(o.Port), n.routers[o.Node])
+		n.routers[nb].Connect(n.reversePort(o.Node, o.Port), n.routers[o.Node])
 		delete(n.linkDown, key)
 		n.failedLinks--
 		return true, nil
@@ -618,7 +630,7 @@ func (n *Network) replayOutcome(o ReconfigOutcome) (topoChanged bool, err error)
 		for p := 0; p < n.topo.Degree(); p++ {
 			if nb := d.Neighbor(p); nb != nil {
 				d.Disconnect(p)
-				nb.Disconnect(topology.ReversePort(p))
+				nb.Disconnect(n.reversePort(o.Node, p))
 			}
 		}
 		n.routerDead[o.Node] = true
@@ -637,7 +649,7 @@ func (n *Network) replayOutcome(o ReconfigOutcome) (topoChanged bool, err error)
 				continue
 			}
 			d.Connect(p, n.routers[nb])
-			n.routers[nb].Connect(topology.ReversePort(p), d)
+			n.routers[nb].Connect(n.reversePort(o.Node, p), d)
 		}
 		return true, nil
 	case ReconfigSwapAlgorithm:

@@ -11,11 +11,14 @@ import (
 
 // Token implements the paper's sequential recovery mutual exclusion
 // (Assumptions 4-6): a single token circulates all routers over a dedicated
-// hardwired path in a fixed Hamiltonian order. A router holding a
-// presumed-deadlocked packet captures the passing token and switches exactly
-// one packet onto the Deadlock Buffer lane; propagation is inhibited until
-// the destination node receives that packet's header, at which point the
-// token resumes from the destination.
+// hardwired path in the topology's declared recovery-lane order (the
+// serpentine Hamiltonian order on cubes). Because the path is dedicated
+// control wiring, any visiting order works — consecutive lane nodes need
+// not be linked in the data network. A router holding a presumed-
+// deadlocked packet captures the passing token and switches exactly one
+// packet onto the Deadlock Buffer lane; propagation is inhibited until the
+// destination node receives that packet's header, at which point the token
+// resumes from the destination.
 type Token struct {
 	order  []topology.Node
 	index  map[topology.Node]int
@@ -29,10 +32,11 @@ type Token struct {
 	holdCycles    int64 // cycles spent held by a recovering packet
 }
 
-// NewToken builds a token circulating topo's Hamiltonian order at the given
-// hops-per-cycle speed.
-func NewToken(topo topology.Topology, hopsPerCycle int) *Token {
-	order := topo.HamiltonianOrder()
+// NewToken builds a token circulating topo's declared recovery lane at the
+// given hops-per-cycle speed. The caller (network construction) has
+// already validated that the lane is a permutation of the nodes.
+func NewToken(topo topology.Graph, hopsPerCycle int) *Token {
+	order := topo.RecoveryLane()
 	idx := make(map[topology.Node]int, len(order))
 	for i, node := range order {
 		idx[node] = i

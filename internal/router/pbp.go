@@ -1,5 +1,7 @@
 package router
 
+import "repro/internal/packet"
+
 // stageSwitchPBP implements packet-by-packet crossbar allocation (paper
 // Section 3.3): a crossbar connection is established when a packet wins an
 // output port and held until its tail passes; neither input nor output ports
@@ -22,12 +24,24 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 	s := r.st
 	deg := r.deg
 
-	// inputConn[p] reports whether input port p is already wired to some
-	// output (input ports are not multiplexed under this policy).
-	var inputConn [64]bool
+	// inputConn[p] counts how many outputs input port p is wired to, and
+	// inputPkt[p] is the packet those connections belong to. Input ports
+	// are not multiplexed among packets under this policy, but one packet
+	// may hold several connections from the same input port: a misrouted
+	// wormhole that crosses this router twice enters both times through
+	// the same physical channel, and refusing its second connection would
+	// deadlock the packet on itself (the upstream segment waiting for a
+	// crossbar input that only its own downstream segment can release —
+	// a body-flit deadlock the timeout detector, which watches headers,
+	// can never recover).
+	var inputConn [64]int8
+	var inputPkt [64]*packet.Packet
 	for q := 0; q < deg; q++ {
-		if s.cxInPort[r.cxIdx(q)] != connNone {
-			inputConn[s.cxInPort[r.cxIdx(q)]] = true
+		c := r.cxIdx(q)
+		if s.cxInPort[c] != connNone {
+			p := int(s.cxInPort[c])
+			inputConn[p]++
+			inputPkt[p] = s.inPkt[r.inIdx(p, int(s.cxInVC[c]))]
 		}
 	}
 	var inputUsed [64]bool
@@ -40,16 +54,26 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 
 	total := s.stride
 
+	unwire := func(p int) {
+		inputConn[p]--
+		if inputConn[p] == 0 {
+			inputPkt[p] = nil
+		}
+	}
+	wire := func(p, v int) {
+		inputConn[p]++
+		inputPkt[p] = s.inPkt[r.inIdx(p, v)]
+	}
 	release := func(q int) {
 		c := r.cxIdx(q)
 		if s.cxInPort[c] != connNone {
-			inputConn[s.cxInPort[c]] = false
+			unwire(int(s.cxInPort[c]))
 		}
 		s.cxInPort[c], s.cxInVC[c] = connNone, 0
 		s.cxDB[c] = false
 		r.restoreConn(q)
 		if s.cxInPort[c] != connNone {
-			inputConn[s.cxInPort[c]] = true
+			wire(int(s.cxInPort[c]), int(s.cxInVC[c]))
 		}
 	}
 	preempt := func(q int) {
@@ -58,7 +82,7 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 			return
 		}
 		s.cxSaved[c], s.cxSavedPort[c], s.cxSavedVC[c] = true, s.cxInPort[c], s.cxInVC[c]
-		inputConn[s.cxInPort[c]] = false
+		unwire(int(s.cxInPort[c]))
 		s.cxInPort[c], s.cxInVC[c] = connNone, 0
 		r.stats.Preemptions++
 	}
@@ -102,7 +126,7 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 		if rp, rv, ok := r.recoveredInputFor(q); ok && !(int(s.cxInPort[c]) == rp && int(s.cxInVC[c]) == rv) {
 			preempt(q)
 			s.cxInPort[c], s.cxInVC[c] = int32(rp), int32(rv)
-			inputConn[rp] = true
+			wire(rp, rv)
 		}
 
 		// Drop stale connections (packet drained or redirected by recovery
@@ -129,11 +153,16 @@ func (r *Router) stageSwitchPBP(out []Transfer) []Transfer {
 					continue
 				}
 				port, vc := r.portVCOf(l)
-				if inputConn[port] || inputUsed[port] {
+				if inputUsed[port] {
+					continue
+				}
+				// A wired input port accepts further connections only for
+				// the packet already holding it (see inputConn above).
+				if inputConn[port] > 0 && inputPkt[port] != s.inPkt[g] {
 					continue
 				}
 				s.cxInPort[c], s.cxInVC[c] = int32(port), int32(vc)
-				inputConn[port] = true
+				wire(port, vc)
 				s.swArbOff[r.swIdx(q)] = int32((off + i + 1) % total)
 				break
 			}

@@ -395,7 +395,7 @@ func Commit(t Transfer, sink Sink) {
 		t.From.stats.FlitsSwitched++
 	default:
 		to := t.To
-		inPort := topology.ReversePort(t.OutPort)
+		inPort := int(t.From.rev[t.OutPort])
 		ti := to.inIdx(inPort, t.ToVC)
 		to.st.inPush(ti, fl)
 		to.st.flitCount[to.node]++
@@ -435,7 +435,7 @@ func (t Transfer) popSource() packet.Flit {
 	s.flitCount[r.node]--
 	if t.FromPort < r.deg && r.neighbors[t.FromPort] != nil {
 		up := r.neighbors[t.FromPort]
-		up.st.outCredits[up.outIdx(topology.ReversePort(t.FromPort), t.FromVC)]++
+		up.st.outCredits[up.outIdx(int(r.rev[t.FromPort]), t.FromVC)]++
 	}
 	if fl.IsTail() {
 		s.inPkt[i] = nil
@@ -451,13 +451,18 @@ func (t Transfer) popSource() packet.Flit {
 // normal (edge-buffer) link out of r.
 func (r *Router) applyHeaderHop(p *packet.Packet, outPort int) {
 	p.Hops++
-	d := topology.PortDim(outPort)
-	if p.LastDim >= 0 && d < p.LastDim {
-		p.DimReversals++
-	}
-	p.LastDim = d
-	if r.topo.CrossesDateline(r.node, outPort) {
-		p.DatelineCrossed |= 1 << uint(d)
+	if r.ctopo != nil {
+		// Dimension-reversal and dateline state only exist on coordinate
+		// topologies; the algorithms that consume them reject coordinate-
+		// free graphs at configuration time.
+		d := topology.PortDim(outPort)
+		if p.LastDim >= 0 && d < p.LastDim {
+			p.DimReversals++
+		}
+		p.LastDim = d
+		if r.ctopo.CrossesDateline(r.node, outPort) {
+			p.DatelineCrossed |= 1 << uint(d)
+		}
 	}
 	nb := r.neighbors[outPort]
 	if r.topo.Distance(nb.node, p.Dst) >= r.topo.Distance(r.node, p.Dst) {
@@ -704,7 +709,10 @@ func (r *Router) dbLaneRoute(lane int, dst topology.Node) int {
 	if r.dbTable != nil {
 		return int(r.dbTable[int(dst)*r.topo.Nodes()+int(r.node)])
 	}
-	port, ok := routing.DORPort(r.topo, r.node, dst)
+	// Coordinate-free graphs always carry a dbTable (the network installs
+	// the BFS table at construction), so reaching the dimension-order
+	// fallback implies cube coordinates exist.
+	port, ok := routing.DORPort(r.ctopo, r.node, dst)
 	if !ok {
 		return PortEject
 	}
@@ -755,7 +763,7 @@ func (r *Router) PurgePacket(p *packet.Packet) int {
 		purged += n
 		if n > 0 && port < r.deg && r.neighbors[port] != nil {
 			up := r.neighbors[port]
-			up.st.outCredits[up.outIdx(topology.ReversePort(port), v)] += int32(n)
+			up.st.outCredits[up.outIdx(int(r.rev[port]), v)] += int32(n)
 		}
 		s.inPkt[i] = nil
 		s.inRoute[i] = PortUnrouted

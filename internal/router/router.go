@@ -72,11 +72,15 @@ type Stats struct {
 // wiring, RNG, scratch) that no per-cycle scan touches.
 type Router struct {
 	node topology.Node
-	topo topology.Topology
-	cfg  Config
-	alg  routing.Algorithm
-	sel  routing.Selection
-	rng  *sim.RNG
+	topo topology.Graph
+	// ctopo is the coordinate view of topo when it has one (k-ary n-cubes),
+	// nil otherwise. Dateline tracking, dimension-reversal accounting and
+	// the dimension-order Deadlock Buffer fallback are gated on it.
+	ctopo topology.Topology
+	cfg   Config
+	alg   routing.Algorithm
+	sel   routing.Selection
+	rng   *sim.RNG
 
 	// Shared struct-of-arrays state and this router's base offsets into it.
 	st   *State
@@ -102,6 +106,12 @@ type Router struct {
 	// with a fault-aware next-hop table (see SetDBRouteTable).
 	dbTable []int32
 
+	// rev caches topo.ReversePortAt for every output port: rev[p] is the
+	// input port at neighbors[p] that our link lands on, or -1 where the
+	// port is unconnected or unpaired. The transfer-commit and credit hot
+	// paths index it instead of re-deriving the pairing per flit.
+	rev []int32
+
 	candBuf []routing.Candidate
 	stats   Stats
 
@@ -122,11 +132,13 @@ type Router struct {
 // The caller wires neighbors with Connect before the first cycle. cfg must
 // already be normalized. The network constructs one State and all of its
 // routers over it, so the per-cycle scan phases sweep contiguous memory.
-func NewWithState(node topology.Node, topo topology.Topology, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG, st *State) *Router {
+func NewWithState(node topology.Node, topo topology.Graph, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG, st *State) *Router {
 	deg := topo.Degree()
+	ctopo, _ := topology.Coordinated(topo)
 	r := &Router{
 		node:        node,
 		topo:        topo,
+		ctopo:       ctopo,
 		cfg:         cfg,
 		alg:         alg,
 		sel:         sel,
@@ -148,13 +160,21 @@ func NewWithState(node topology.Node, topo topology.Topology, cfg Config, alg ro
 		maxVCs = cfg.InjectionVCs
 	}
 	r.blockedByVC = make([]int64, maxVCs)
+	r.rev = make([]int32, deg)
+	for p := 0; p < deg; p++ {
+		if q, ok := topo.ReversePortAt(node, p); ok {
+			r.rev[p] = int32(q)
+		} else {
+			r.rev[p] = -1
+		}
+	}
 	return r
 }
 
 // New constructs a standalone router for node with a freshly allocated State
 // sized for topo. Tests and single-router tools use it; a network shares one
 // State across all routers via NewState + NewWithState instead.
-func New(node topology.Node, topo topology.Topology, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG) *Router {
+func New(node topology.Node, topo topology.Graph, cfg Config, alg routing.Algorithm, sel routing.Selection, rng *sim.RNG) *Router {
 	return NewWithState(node, topo, cfg, alg, sel, rng, NewState(topo, cfg))
 }
 
@@ -225,7 +245,18 @@ func (r *Router) BlockedCyclesVC(vc int) int64 {
 func (r *Router) Node() topology.Node { return r.node }
 
 // Topo implements routing.View.
-func (r *Router) Topo() topology.Topology { return r.topo }
+func (r *Router) Topo() topology.Graph { return r.topo }
+
+// ReverseAt returns the input port at Neighbor(port) that this router's
+// link through port lands on, or -1 where the port is unconnected or has
+// no paired reverse channel. Wait-for-graph analysis and the invariant
+// checker use it to follow flow control across arbitrary-graph links.
+func (r *Router) ReverseAt(port int) int {
+	if port < 0 || port >= len(r.rev) {
+		return -1
+	}
+	return int(r.rev[port])
+}
 
 // VCs implements routing.View.
 func (r *Router) VCs() int { return r.cfg.VCs }
@@ -373,9 +404,13 @@ func (r *Router) InputVCCount(port int) int { return r.st.inVCCount(r.deg, port)
 // by the maintained flit counter rather than a buffer walk.
 func (r *Router) Quiescent() bool { return r.st.flitCount[r.node] == 0 }
 
-// String identifies the router by coordinate and algorithm for logs.
+// String identifies the router by coordinate (or node id on a
+// coordinate-free graph) and algorithm for logs.
 func (r *Router) String() string {
-	return fmt.Sprintf("router@%v(%s)", r.topo.Coord(r.node), r.alg.Name())
+	if r.ctopo != nil {
+		return fmt.Sprintf("router@%v(%s)", r.ctopo.Coord(r.node), r.alg.Name())
+	}
+	return fmt.Sprintf("router@%d(%s)", r.node, r.alg.Name())
 }
 
 // Disconnect severs the output link on the given port (fault injection).

@@ -99,7 +99,7 @@ type State struct {
 // NewState allocates the shared struct-of-arrays buffers for every router of
 // a network on topo under cfg. cfg must already be normalized. The network
 // constructs one State and passes it to NewWithState for each router.
-func NewState(topo topology.Topology, cfg Config) *State {
+func NewState(topo topology.Graph, cfg Config) *State {
 	nodes, deg := topo.Nodes(), topo.Degree()
 	lanes := 0
 	if cfg.DeadlockBufferDepth > 0 {

@@ -26,7 +26,11 @@ func DallyAoki() Algorithm { return dallyAoki{} }
 
 func (dallyAoki) Name() string { return "dally-aoki" }
 
-func (dallyAoki) MinVCs(topo topology.Topology) int {
+func (dallyAoki) MinVCs(g topology.Graph) int {
+	topo, ok := topology.Coordinated(g)
+	if !ok {
+		return -1 // the deterministic class is dimension-order routing
+	}
 	if topo.Wrap() {
 		return 3 // 1 adaptive + 2 deterministic (dateline classes)
 	}
@@ -42,7 +46,7 @@ func (dallyAoki) detVCs(topo topology.Topology) int {
 }
 
 func (a dallyAoki) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
-	topo := v.Topo()
+	topo := v.Topo().(topology.Topology)
 	det := a.detVCs(topo)
 	vcs := v.VCs()
 	base := len(buf)

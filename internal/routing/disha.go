@@ -42,7 +42,10 @@ func (d disha) Name() string {
 // MaxMisroutes exposes the livelock bound M.
 func (d disha) MaxMisroutes() int { return d.maxMisroutes }
 
-func (disha) MinVCs(topology.Topology) int { return 1 }
+// MinVCs is 1 on every graph: Disha's routing is purely adjacency-based
+// (minimal ports plus bounded misroutes), so it runs on arbitrary
+// topologies; deadlock freedom comes from recovery, not VC classes.
+func (disha) MinVCs(topology.Graph) int { return 1 }
 
 func (d disha) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
 	topo := v.Topo()

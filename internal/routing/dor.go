@@ -20,7 +20,11 @@ func DOR() Algorithm { return dor{} }
 
 func (dor) Name() string { return "dor" }
 
-func (dor) MinVCs(topo topology.Topology) int {
+func (dor) MinVCs(g topology.Graph) int {
+	topo, ok := topology.Coordinated(g)
+	if !ok {
+		return -1 // dimension-order routing needs cube coordinates
+	}
 	if topo.Wrap() {
 		return 2
 	}
@@ -28,7 +32,7 @@ func (dor) MinVCs(topo topology.Topology) int {
 }
 
 func (dor) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
-	topo := v.Topo()
+	topo := v.Topo().(topology.Topology)
 	port, ok := dorPort(topo, v.Node(), p.Dst)
 	if !ok {
 		return buf

@@ -44,7 +44,11 @@ func (a duato) Name() string {
 	return "duato"
 }
 
-func (duato) MinVCs(topo topology.Topology) int {
+func (duato) MinVCs(g topology.Graph) int {
+	topo, ok := topology.Coordinated(g)
+	if !ok {
+		return -1 // the escape subfunction is dimension-order routing
+	}
 	if topo.Wrap() {
 		return 3 // 2 escape (dateline classes) + 1 adaptive
 	}
@@ -59,7 +63,7 @@ func (duato) escVCs(topo topology.Topology) int {
 }
 
 func (a duato) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
-	topo := v.Topo()
+	topo := v.Topo().(topology.Topology)
 	esc := a.escVCs(topo)
 	vcs := v.VCs()
 

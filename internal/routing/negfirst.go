@@ -29,10 +29,15 @@ func NegativeFirst() Algorithm { return negFirst{} }
 
 func (negFirst) Name() string { return "turn-negative-first" }
 
-func (negFirst) MinVCs(topology.Topology) int { return 1 }
+func (negFirst) MinVCs(g topology.Graph) int {
+	if _, ok := topology.Coordinated(g); !ok {
+		return -1 // the Turn model's directions need cube coordinates
+	}
+	return 1
+}
 
 func (negFirst) Route(v View, p *packet.Packet, buf []Candidate) []Candidate {
-	topo := v.Topo()
+	topo := v.Topo().(topology.Topology)
 	node := v.Node()
 	fc, tc := topo.Coord(node), topo.Coord(p.Dst)
 

@@ -27,8 +27,11 @@ import (
 type View interface {
 	// Node is the router's node.
 	Node() topology.Node
-	// Topo is the network topology.
-	Topo() topology.Topology
+	// Topo is the network graph. Coordinate-based algorithms assert it to
+	// topology.Topology; Config normalization rejects algorithm/topology
+	// pairs whose MinVCs reports the graph unsupported, so the assertion
+	// cannot fail at routing time.
+	Topo() topology.Graph
 	// VCs returns the number of virtual channels per physical channel.
 	VCs() int
 	// LinkExists reports whether the output port is wired (mesh boundary
@@ -78,8 +81,9 @@ type Algorithm interface {
 	Route(v View, p *packet.Packet, buf []Candidate) []Candidate
 	// MinVCs returns the minimum virtual channel count the algorithm
 	// requires for deadlock-free (or, for Disha, recoverable) operation on
-	// the topology.
-	MinVCs(topo topology.Topology) int
+	// the topology, or -1 when the algorithm does not support the graph at
+	// all (coordinate-based algorithms on a coordinate-free digraph).
+	MinVCs(g topology.Graph) int
 }
 
 // Selection chooses one of the usable candidates (all in the same class,

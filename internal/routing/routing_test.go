@@ -23,7 +23,7 @@ func newFakeView(topo topology.Topology, node topology.Node, vcs int) *fakeView 
 }
 
 func (f *fakeView) Node() topology.Node { return f.node }
-func (f *fakeView) Topo() topology.Topology {
+func (f *fakeView) Topo() topology.Graph {
 	return f.topo
 }
 func (f *fakeView) VCs() int { return f.vcs }

@@ -136,3 +136,107 @@ func TestNewCubeRejectsHugeSingleRadix(t *testing.T) {
 		t.Fatalf("large-but-bounded ring rejected: %v", err)
 	}
 }
+
+// FuzzParse drives the name parser with arbitrary strings: it must either
+// return an error or a structurally sound graph — never panic, even on
+// hostile sizes, since this is the CLI -topo entry point.
+func FuzzParse(f *testing.F) {
+	for _, s := range []string{
+		"torus-8x8", "mesh-4x4x2", "hypercube-3", "fullmesh-16",
+		"dragonfly-4x2", "fattree-4", "torus-", "-8", "fullmesh-99999999",
+		"dragonfly-4x2x1", "torus-8x-8", "x", "torus-0x0",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, name string) {
+		g, err := Parse(name)
+		if err != nil {
+			return
+		}
+		if g.Nodes() < 1 || g.Degree() < 0 {
+			t.Fatalf("Parse(%q): %d nodes degree %d", name, g.Nodes(), g.Degree())
+		}
+		// The emitted name is canonical: it must re-parse to the same shape.
+		g2, err := Parse(g.Name())
+		if err != nil {
+			t.Fatalf("Parse(%q) emitted unparseable name %q: %v", name, g.Name(), err)
+		}
+		if g2.Nodes() != g.Nodes() || g2.Degree() != g.Degree() {
+			t.Fatalf("canonical re-parse of %q changed shape", g.Name())
+		}
+	})
+}
+
+// FuzzNewDigraph feeds the adjacency-list constructor arbitrary edges
+// decoded from raw bytes: out-of-range targets, self-loops and oversized
+// shapes must error; every accepted graph must be structurally sound.
+func FuzzNewDigraph(f *testing.F) {
+	f.Add(3, 2, []byte{0, 1, 1, 2, 2, 0})
+	f.Add(2, 1, []byte{0, 1, 1, 0})
+	f.Add(1, 1, []byte{0, 0})        // self-loop
+	f.Add(2, 1, []byte{0, 5})        // out of range
+	f.Add(1 << 20, 4, []byte{0, 1})  // size guard
+	f.Fuzz(func(t *testing.T, nodes, degree int, edges []byte) {
+		if nodes < 0 || nodes > 1<<10 || degree < 0 || degree > 8 {
+			return // cap the fuzz shape, not the constructor's own guards
+		}
+		adj := make([][]int, nodes)
+		for i := 0; i+1 < len(edges); i += 2 {
+			v := int(edges[i]) % max(nodes, 1)
+			if len(adj) == 0 {
+				break
+			}
+			if len(adj[v]) < degree {
+				adj[v] = append(adj[v], int(edges[i+1]))
+			}
+		}
+		g, err := NewDigraph("fuzz", adj)
+		if err != nil {
+			return
+		}
+		for n := 0; n < g.Nodes(); n++ {
+			for p := 0; p < g.Degree(); p++ {
+				nb, ok := g.Neighbor(Node(n), p)
+				if !ok {
+					continue
+				}
+				if rp, rok := g.ReversePortAt(Node(n), p); rok {
+					back, bok := g.Neighbor(nb, rp)
+					if !bok || back != Node(n) {
+						t.Fatalf("reverse port of %d--%d-->%d broken", n, p, nb)
+					}
+				}
+				if g.Distance(Node(n), nb) != 1 {
+					t.Fatalf("neighbor %d->%d distance %d", n, nb, g.Distance(Node(n), nb))
+				}
+			}
+		}
+	})
+}
+
+// FuzzDigraphConstructors covers the named non-cube constructors with
+// arbitrary parameters, including negatives and values past the size
+// guards: error or sound graph, never a panic or runaway allocation.
+func FuzzDigraphConstructors(f *testing.F) {
+	f.Add(16, 4, 2, 4)
+	f.Add(0, 0, 0, 0)
+	f.Add(-1, -1, -1, -1)
+	f.Add(1<<30, 1<<30, 1<<30, 1<<30)
+	f.Fuzz(func(t *testing.T, n, a, h, k int) {
+		if g, err := NewFullMesh(n); err == nil {
+			if g.Nodes() != n {
+				t.Fatalf("NewFullMesh(%d): %d nodes", n, g.Nodes())
+			}
+		}
+		if g, err := NewDragonfly(a, h); err == nil {
+			if g.Nodes() != (a*h+1)*a {
+				t.Fatalf("NewDragonfly(%d,%d): %d nodes", a, h, g.Nodes())
+			}
+		}
+		if g, err := NewFatTree(k); err == nil {
+			if g.Nodes() != k*k+(k/2)*(k/2) {
+				t.Fatalf("NewFatTree(%d): %d nodes", k, g.Nodes())
+			}
+		}
+	})
+}

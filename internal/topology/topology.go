@@ -1,13 +1,18 @@
 // Package topology models the direct interconnection networks used by the
-// DISHA reproduction: k-ary n-cube tori and meshes. It provides node and
-// port addressing, minimal-direction computation, distance metrics, torus
-// dateline classification (used by deadlock-avoidance baselines), and a
-// Hamiltonian traversal order used by the recovery Token.
+// DISHA reproduction. Two layers of interface exist: Graph is the minimal
+// directed-graph contract every topology satisfies (nodes, directed ports,
+// per-link reverse ports, distances, a declared recovery lane), and
+// Topology extends it with the coordinate geometry of k-ary n-cubes (tori,
+// meshes, hypercubes) that coordinate-based routing algorithms and traffic
+// patterns require. Beyond the cubes, the package provides full-mesh,
+// dragonfly, and fat-tree constructors built on a generic digraph base.
 //
-// Port numbering convention: a node with n dimensions has 2n network ports;
-// port 2*d is the positive direction of dimension d and port 2*d+1 the
-// negative direction. Injection and reception channels are modeled by
-// internal/router and are not ports of the topology.
+// Cube port numbering convention: a node with n dimensions has 2n network
+// ports; port 2*d is the positive direction of dimension d and port 2*d+1
+// the negative direction. Non-cube topologies number ports densely per
+// node with no global direction meaning; use Graph.ReversePortAt to find
+// the paired port of a link. Injection and reception channels are modeled
+// by internal/router and are not ports of the topology.
 package topology
 
 import (
@@ -70,50 +75,105 @@ func PortFor(d, sign int) int {
 }
 
 // ReversePort returns the port on the neighboring node that points back
-// along the same physical link.
+// along the same physical link, for the cube port-numbering convention
+// only (port 2d = +dim d, port 2d+1 = -dim d, so the pair is port^1).
+// General graphs have no such global rule; use Graph.ReversePortAt.
 func ReversePort(port int) int { return port ^ 1 }
 
-// Topology is the read-only interface the simulator needs from a network
-// graph. Implementations must be immutable after construction.
-type Topology interface {
+// Graph is the minimal read-only directed-graph interface the simulator
+// needs from a network. Implementations must be immutable after
+// construction. Coordinate-based consumers (DOR-family routing, geometric
+// traffic patterns) additionally require the Topology extension; assert
+// with Coordinated.
+type Graph interface {
 	// Name returns a short human-readable description, e.g. "torus-16x16".
 	Name() string
 	// Nodes returns the number of nodes.
 	Nodes() int
-	// Dims returns the number of dimensions n.
-	Dims() int
-	// Radix returns the radix (number of nodes) of dimension d.
-	Radix(d int) int
-	// Degree returns the number of network ports per node (2n). Mesh edge
-	// nodes have some ports unconnected; see Neighbor.
+	// Degree returns the number of network ports per node. Some ports may
+	// be unconnected (mesh boundaries, fat-tree edge switches); see
+	// Neighbor.
 	Degree() int
-	// Coord returns the coordinate vector of a node.
-	Coord(Node) Coord
-	// NodeAt returns the node with the given coordinates.
-	NodeAt(Coord) Node
 	// Neighbor returns the node reached from n via port, and whether the
-	// link exists (mesh boundary ports do not).
+	// link exists.
 	Neighbor(n Node, port int) (Node, bool)
+	// ReversePortAt returns the port on Neighbor(n, port) whose link points
+	// back at n — the input port a flit sent from n via port arrives on —
+	// and whether such a paired reverse port exists. A directed link with
+	// no antiparallel twin reports false.
+	ReversePortAt(n Node, port int) (int, bool)
 	// MinimalPorts returns the set of output ports at from that lie on some
-	// minimal path to to. Empty iff from == to.
+	// minimal path to to. Empty iff from == to (or to is unreachable).
 	MinimalPorts(from, to Node) []int
 	// IsMinimal reports whether taking port at from lies on some minimal
 	// path to to — the allocation-free membership test for MinimalPorts,
 	// which routing hot paths use: iterating ports in numeric order and
 	// filtering with IsMinimal yields exactly MinimalPorts' sequence.
 	IsMinimal(from, to Node, port int) bool
-	// Distance returns the minimal hop count between two nodes.
+	// Distance returns the minimal hop count between two nodes, or -1 when
+	// to is unreachable from from.
 	Distance(from, to Node) int
+	// RecoveryLane returns the topology's declared deadlock-recovery
+	// visiting order: every node exactly once. Sequential (Token) recovery
+	// circulates it over a dedicated hardwired control path, so any
+	// permutation works; concurrent recovery routes Deadlock Buffer flits
+	// monotonically along it, so consecutive lane nodes must then be
+	// physically linked. internal/network validates the declared lane
+	// against the recovery mode at construction time.
+	RecoveryLane() []Node
+}
+
+// Topology extends Graph with the coordinate geometry of k-ary n-cubes.
+// Coordinate-based routing algorithms (DOR, negative-first, Dally-Aoki,
+// Duato) and geometric traffic patterns (transpose, complement, tornado)
+// require this interface; everything else in the simulator runs on Graph.
+type Topology interface {
+	Graph
+	// Dims returns the number of dimensions n.
+	Dims() int
+	// Radix returns the radix (number of nodes) of dimension d.
+	Radix(d int) int
+	// Coord returns the coordinate vector of a node.
+	Coord(Node) Coord
+	// NodeAt returns the node with the given coordinates. It panics on a
+	// malformed coordinate; NodeAtChecked is the error-returning form.
+	NodeAt(Coord) Node
 	// CrossesDateline reports whether taking port at node n traverses the
 	// torus dateline of the port's dimension (always false on a mesh).
 	// Deadlock-avoidance baselines use this to switch VC classes.
 	CrossesDateline(n Node, port int) bool
 	// HamiltonianOrder returns a fixed serpentine visiting order covering
-	// every node exactly once; the recovery Token circulates this order
-	// cyclically over its dedicated hardwired path.
+	// every node exactly once; consecutive nodes are always physically
+	// linked, so the order serves both recovery modes. Equal to
+	// RecoveryLane for cubes.
 	HamiltonianOrder() []Node
 	// Wrap reports whether the topology has wraparound links (torus).
 	Wrap() bool
+}
+
+// Coordinated reports whether g carries cube coordinate geometry,
+// returning the Topology view when it does. Callers that need Coord/
+// NodeAt/dateline information gate on this instead of type-asserting
+// inline.
+func Coordinated(g Graph) (Topology, bool) {
+	t, ok := g.(Topology)
+	return t, ok
+}
+
+// NodeAtChecked is the error-returning form of Topology.NodeAt: it
+// validates the coordinate's dimensionality and per-dimension range and
+// returns an error instead of panicking on malformed input. Use it on
+// paths fed by external input (CLI flags, network requests, fuzzers).
+func NodeAtChecked(t Topology, co Coord) (Node, error) {
+	if len(co) != t.Dims() {
+		return 0, fmt.Errorf("topology: coordinate %v has %d dimensions; %s has %d", co, len(co), t.Name(), t.Dims())
+	}
+	for d, x := range co {
+		if x < 0 || x >= t.Radix(d) {
+			return 0, fmt.Errorf("topology: coordinate %v out of range in dimension %d (radix %d)", co, d, t.Radix(d))
+		}
+	}
+	return t.NodeAt(co), nil
 }
 
 // cube implements both torus and mesh k-ary n-cube topologies.
@@ -239,6 +299,8 @@ func (c *cube) Coord(n Node) Coord {
 	return co
 }
 
+// NodeAt panics on a malformed coordinate, as documented on Topology;
+// NodeAtChecked is the error-returning form for external-input paths.
 func (c *cube) NodeAt(co Coord) Node {
 	if len(co) != len(c.radix) {
 		panic(fmt.Sprintf("topology: coordinate %v has wrong dimensionality", co))
@@ -251,6 +313,15 @@ func (c *cube) NodeAt(co Coord) Node {
 		v += x * c.stride[d]
 	}
 	return Node(v)
+}
+
+// ReversePortAt follows the cube convention: the paired port of 2d is
+// 2d+1 and vice versa, whenever the link exists.
+func (c *cube) ReversePortAt(n Node, port int) (int, bool) {
+	if _, ok := c.Neighbor(n, port); !ok {
+		return 0, false
+	}
+	return ReversePort(port), true
 }
 
 func (c *cube) Neighbor(n Node, port int) (Node, bool) {
@@ -405,3 +476,8 @@ func (c *cube) HamiltonianOrder() []Node {
 	copy(out, c.hamOnce)
 	return out
 }
+
+// RecoveryLane for cubes is the serpentine Hamiltonian order: consecutive
+// nodes are physically linked, so the same lane serves sequential and
+// concurrent recovery, and existing golden digests stay byte-identical.
+func (c *cube) RecoveryLane() []Node { return c.HamiltonianOrder() }

@@ -11,7 +11,7 @@ import (
 // TotalChannels returns the number of unidirectional network channels in the
 // topology (injection/reception channels excluded). On a k-ary n-cube torus
 // this is Nodes * 2n; a mesh has fewer because boundary ports are absent.
-func TotalChannels(topo topology.Topology) int {
+func TotalChannels(topo topology.Graph) int {
 	total := 0
 	for n := 0; n < topo.Nodes(); n++ {
 		for p := 0; p < topo.Degree(); p++ {
@@ -36,7 +36,7 @@ type MeanStats struct {
 // MeasureMean estimates MeanStats by drawing samplesPerNode destinations from
 // every source with a deterministic RNG stream. Deterministic patterns are
 // measured exactly with a single sample per node.
-func MeasureMean(topo topology.Topology, p Pattern, samplesPerNode int) MeanStats {
+func MeasureMean(topo topology.Graph, p Pattern, samplesPerNode int) MeanStats {
 	if samplesPerNode < 1 {
 		samplesPerNode = 1
 	}
@@ -71,7 +71,7 @@ func MeasureMean(topo topology.Topology, p Pattern, samplesPerNode int) MeanStat
 // hops consumes msgLen*E[dist] channel-cycles, so the aggregate full-load
 // packet rate is C / (msgLen * E[dist]). That rate is spread across the
 // nodes that actually generate traffic under the pattern.
-func InjectionProbability(topo topology.Topology, p Pattern, msgLen int, loadRate float64) (float64, error) {
+func InjectionProbability(topo topology.Graph, p Pattern, msgLen int, loadRate float64) (float64, error) {
 	if msgLen < 1 {
 		return 0, fmt.Errorf("traffic: message length %d < 1", msgLen)
 	}

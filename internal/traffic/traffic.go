@@ -28,14 +28,14 @@ type Pattern interface {
 // --- Uniform ---------------------------------------------------------------
 
 type uniform struct {
-	topo topology.Topology
+	topo topology.Graph
 }
 
 // NewUniform returns a pattern that sends each packet to a destination
 // chosen uniformly among all other nodes. It errors on a topology with
 // fewer than two nodes, where no such destination exists (Dest would
 // otherwise panic in Intn(0)).
-func NewUniform(topo topology.Topology) (Pattern, error) {
+func NewUniform(topo topology.Graph) (Pattern, error) {
 	if topo.Nodes() < 2 {
 		return nil, fmt.Errorf("traffic: uniform needs at least 2 nodes, have %d", topo.Nodes())
 	}
@@ -44,7 +44,7 @@ func NewUniform(topo topology.Topology) (Pattern, error) {
 
 // Uniform is NewUniform for topologies known to have at least two nodes; it
 // panics otherwise.
-func Uniform(topo topology.Topology) Pattern {
+func Uniform(topo topology.Graph) Pattern {
 	p, err := NewUniform(topo)
 	if err != nil {
 		panic(err)
@@ -66,13 +66,13 @@ func (u uniform) Dest(src topology.Node, r *sim.RNG) topology.Node {
 // --- Bit reversal ----------------------------------------------------------
 
 type bitReversal struct {
-	topo topology.Topology
+	topo topology.Graph
 	bits int
 }
 
 // BitReversal sends from the node with binary address a_{b-1}..a_0 to the
 // node with address a_0..a_{b-1}. The node count must be a power of two.
-func BitReversal(topo topology.Topology) (Pattern, error) {
+func BitReversal(topo topology.Graph) (Pattern, error) {
 	bits, ok := log2(topo.Nodes())
 	if !ok {
 		return nil, fmt.Errorf("traffic: bit-reversal needs a power-of-two node count, have %d", topo.Nodes())
@@ -206,13 +206,13 @@ func (p tornado) Dest(src topology.Node, _ *sim.RNG) topology.Node {
 // --- Bit shuffle -------------------------------------------------------------
 
 type shuffle struct {
-	topo topology.Topology
+	topo topology.Graph
 	bits int
 }
 
 // BitShuffle sends node a_{b-1}..a_0 to a_{b-2}..a_0,a_{b-1} (rotate left).
 // The node count must be a power of two.
-func BitShuffle(topo topology.Topology) (Pattern, error) {
+func BitShuffle(topo topology.Graph) (Pattern, error) {
 	bits, ok := log2(topo.Nodes())
 	if !ok {
 		return nil, fmt.Errorf("traffic: bit-shuffle needs a power-of-two node count, have %d", topo.Nodes())
